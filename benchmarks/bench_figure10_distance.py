@@ -1,0 +1,78 @@
+"""Figure 10: ability of each method to preserve Average Distance.
+
+Relative error of the expected average shortest-path distance (over
+connected pairs, estimated with ANF over sampled worlds, as in the paper)
+per dataset, method, and privacy level.
+
+Shape expectations: "all of Chameleon output graphs do a good job of
+preserving the average distance" -- small errors for RSME/RS/ME; Rep-An
+visibly worse on average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import (
+    DATASETS,
+    K_VALUES,
+    METHODS,
+    METRIC_SAMPLES,
+    SEED,
+    dataset,
+    emit,
+    format_table,
+    sweep_rows,
+)
+from repro.metrics import average_distance
+
+_DISTANCE_SAMPLES = max(60, METRIC_SAMPLES // 4)
+_BASELINE: dict[str, float] = {}
+
+
+def _original_distance(name: str) -> float:
+    if name not in _BASELINE:
+        _BASELINE[name] = average_distance(
+            dataset(name), n_samples=_DISTANCE_SAMPLES, method="anf", seed=SEED
+        )
+    return _BASELINE[name]
+
+
+def _distance_error(name: str, graph) -> float:
+    if graph is None:
+        return float("nan")
+    original = _original_distance(name)
+    anonymized_value = average_distance(
+        graph, n_samples=_DISTANCE_SAMPLES, method="anf", seed=SEED
+    )
+    return abs(anonymized_value - original) / original
+
+
+def _build_rows():
+    return sweep_rows(_distance_error, "average_distance")
+
+
+def test_figure10_average_distance(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    pivot: dict[tuple, dict] = {}
+    for ds, k, method, value in rows:
+        pivot.setdefault((ds, k), {})[method] = value
+    table_rows = [
+        [ds, k] + [pivot[(ds, k)].get(m, float("nan")) for m in METHODS]
+        for ds in DATASETS
+        for k in K_VALUES
+    ]
+    emit(
+        "figure10_average_distance",
+        format_table(["graph", "k"] + list(METHODS), table_rows),
+    )
+
+    # Chameleon variants preserve average distance well everywhere.
+    for (ds, k), cells in pivot.items():
+        for variant in ("rsme", "me", "rs"):
+            if np.isfinite(cells[variant]):
+                assert cells[variant] < 0.5, (ds, k, variant)
+
+    repan = [c["rep-an"] for c in pivot.values() if np.isfinite(c["rep-an"])]
+    rsme = [c["rsme"] for c in pivot.values() if np.isfinite(c["rsme"])]
+    assert np.mean(repan) > np.mean(rsme)

@@ -1,0 +1,65 @@
+"""Figure 8: ability of each method to preserve Reliability.
+
+The paper's headline comparison: average per-pair reliability discrepancy
+of Rep-An / RS / ME / RSME (Chameleon) against the original uncertain
+graph, per dataset and privacy level k.
+
+Shape expectations: all three uncertainty-aware variants beat Rep-An by
+a large factor; RSME is the best (or tied best) uncertainty-aware
+variant; failed runs (impossible privacy targets) surface as NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import (
+    DATASETS,
+    K_VALUES,
+    METHODS,
+    emit,
+    format_table,
+    reliability_loss,
+    sweep_rows,
+)
+
+
+def _build_rows():
+    return sweep_rows(reliability_loss, "reliability")
+
+
+def test_figure8_reliability_preservation(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+
+    # Pivot: one row per (dataset, k), one column per method.
+    pivot: dict[tuple, dict] = {}
+    for ds, k, method, value in rows:
+        pivot.setdefault((ds, k), {})[method] = value
+    table_rows = [
+        [ds, k] + [pivot[(ds, k)].get(m, float("nan")) for m in METHODS]
+        for ds in DATASETS
+        for k in K_VALUES
+    ]
+    emit(
+        "figure8_reliability",
+        format_table(["graph", "k"] + list(METHODS), table_rows),
+    )
+
+    # -- shape assertions ------------------------------------------------ #
+    ratios = []
+    for (ds, k), cells in pivot.items():
+        repan, rsme = cells["rep-an"], cells["rsme"]
+        if np.isfinite(repan) and np.isfinite(rsme):
+            assert rsme < repan, (ds, k)
+            ratios.append(repan / max(rsme, 1e-9))
+    assert ratios, "no comparable cells"
+    # Rep-An is worse by a clear factor on average (paper: 'significant').
+    assert np.mean(ratios) > 2.0
+
+    # Uncertainty-aware variants cluster together, far below Rep-An.
+    for (ds, k), cells in pivot.items():
+        for variant in ("rs", "me"):
+            value = cells[variant]
+            repan = cells["rep-an"]
+            if np.isfinite(value) and np.isfinite(repan):
+                assert value < repan, (ds, k, variant)

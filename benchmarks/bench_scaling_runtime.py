@@ -1,0 +1,81 @@
+"""Efficiency: runtime scaling of the Chameleon building blocks.
+
+The paper claims Chameleon is efficient thanks to the near-linear reused-
+sampling estimators (Lemma 3).  This bench measures wall-clock scaling of
+the three dominant kernels as the graph grows:
+
+* reliability-relevance evaluation (Algorithm 2),
+* the (k, epsilon)-obfuscation check (Poisson-binomial DP + entropies),
+* one full GenObf trial.
+
+Shape expectation: all three grow roughly linearly in |E| -- the ratio
+time/|E| stays within a small band across sizes (no quadratic blow-up).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _harness import SEED, emit, format_table
+from repro.core import ChameleonConfig, build_selection_context, gen_obf
+from repro.datasets import load_profile
+from repro.privacy import check_obfuscation, expected_degree_knowledge
+from repro.reliability import edge_reliability_relevance
+
+_SCALES = (0.25, 0.5, 1.0, 2.0)
+_SAMPLES = 200
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _build_rows():
+    rows = []
+    for scale in _SCALES:
+        graph = load_profile("brightkite", scale=scale, seed=SEED)
+        know = expected_degree_knowledge(graph)
+
+        t_err = _time(lambda: edge_reliability_relevance(
+            graph, n_samples=_SAMPLES, seed=SEED
+        ))
+        t_check = _time(lambda: check_obfuscation(
+            graph, 10, 0.05, knowledge=know
+        ))
+        config = ChameleonConfig(
+            k=10, epsilon=0.05, n_trials=1, relevance_samples=_SAMPLES,
+            size_multiplier=2.0,
+        )
+        context = build_selection_context(graph, config, know, seed=SEED)
+        t_genobf = _time(lambda: gen_obf(
+            graph, config, 0.05, context, seed=SEED
+        ))
+        rows.append([
+            graph.n_nodes, graph.n_edges,
+            t_err, t_check, t_genobf,
+            t_err / graph.n_edges * 1e3,
+        ])
+    return rows
+
+
+def test_scaling_runtime(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    emit(
+        "scaling_runtime",
+        format_table(
+            ["nodes", "edges", "ERR (s)", "obf check (s)", "GenObf (s)",
+             "ERR ms/edge"],
+            rows,
+            precision=3,
+        ),
+    )
+    # Near-linear: per-edge cost of the largest graph is within 8x of the
+    # smallest (a quadratic kernel would be ~64x here).
+    per_edge = [r[5] for r in rows]
+    assert max(per_edge) < 8 * min(per_edge)
+    # Absolute sanity: the biggest graph's ERR pass stays interactive.
+    assert rows[-1][2] < 30.0

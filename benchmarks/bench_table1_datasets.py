@@ -1,0 +1,51 @@
+"""Table I: characteristics of the datasets and privacy parameters.
+
+Regenerates the paper's dataset summary for the scaled-down stand-ins:
+nodes, edges, mean edge probability, and the tolerance level used in the
+privacy experiments.  Paper values (at full scale) for reference:
+
+    DBLP        824,774 / 5,566,096 / 0.46 / 1e-4
+    BRIGHTKITE   58,228 /   214,078 / 0.29 / 1e-3
+    PPI          12,420 /   397,309 / 0.29 / 1e-2
+
+Shape expectations: DBLP largest and with the highest mean probability;
+Brightkite sparsest; PPI smallest but densest; probability means ~0.46 /
+0.29 / 0.29.
+"""
+
+from __future__ import annotations
+
+from _harness import DATASETS, EPSILONS, dataset, emit, format_table
+from repro.ugraph import summarize
+
+
+def _build_rows():
+    rows = []
+    for name in DATASETS:
+        info = summarize(dataset(name))
+        rows.append([
+            name,
+            info["nodes"],
+            info["edges"],
+            round(info["mean_edge_probability"], 3),
+            EPSILONS[name],
+            round(info["expected_mean_degree"], 2),
+        ])
+    return rows
+
+
+def test_table1_dataset_characteristics(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["graph", "nodes", "edges", "edge prob", "tolerance", "E[deg]"], rows
+    )
+    emit("table1_datasets", table)
+
+    by_name = {r[0]: r for r in rows}
+    # Mean edge probability shapes from Table I.
+    assert abs(by_name["dblp"][3] - 0.46) < 0.05
+    assert abs(by_name["brightkite"][3] - 0.29) < 0.05
+    assert abs(by_name["ppi"][3] - 0.29) < 0.05
+    # Size ordering: DBLP largest, PPI smallest-but-densest.
+    assert by_name["dblp"][1] > by_name["brightkite"][1] > by_name["ppi"][1]
+    assert by_name["ppi"][5] > by_name["brightkite"][5]

@@ -1,0 +1,12 @@
+"""Benchmark suite configuration.
+
+Having a conftest here puts ``benchmarks/`` on ``sys.path`` so the bench
+modules can ``import _harness``, and registers a session-scope summary.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

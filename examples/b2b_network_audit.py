@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Motivation Scenario II: a privacy audit for a B2B transaction network.
+
+The paper's second motivating example (Figure 1b): nodes are companies,
+probabilistic edges are predicted future transactions.  Legal cannot
+release the raw predictions; the data team must pick an anonymization
+method and a privacy level.
+
+This script runs the audit an engineer would: sweep privacy levels k,
+compare Rep-An (the conventional pipeline) against Chameleon variants,
+and print the privacy/utility frontier so the team can choose.
+
+Run:  python examples/b2b_network_audit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.datasets import chung_lu_edges, discrete_levels, power_law_weights
+from repro.privacy import expected_degree_knowledge
+from repro.ugraph import UncertainGraph
+
+
+def build_b2b_network(n_companies: int = 300, seed: int = 5) -> UncertainGraph:
+    """Predicted-transaction network: discrete model confidence levels."""
+    rng = np.random.default_rng(seed)
+    weights = power_law_weights(n_companies, exponent=2.4, min_weight=4.0,
+                                seed=rng)
+    edges = chung_lu_edges(weights, seed=rng)
+    confidence = discrete_levels(len(edges), seed=rng)
+    return UncertainGraph(
+        n_companies, [(u, v, float(p)) for (u, v), p in zip(edges, confidence)]
+    )
+
+
+def run_method(graph, method: str, k: int, epsilon: float, seed: int):
+    """One anonymization run; returns (result, utility loss, noise)."""
+    kwargs = dict(n_trials=3, relevance_samples=250, sigma_tolerance=0.05)
+    if method == "rep-an":
+        result = repro.rep_an(graph, k, epsilon, seed=seed, **kwargs)
+    else:
+        result = repro.anonymize(graph, k, epsilon, method=method, seed=seed,
+                                 **kwargs)
+    if not result.success:
+        return result, float("nan"), float("nan")
+    loss = repro.average_reliability_discrepancy(
+        graph, result.graph, n_samples=300, seed=seed
+    )
+    noise = result.noise_added(graph)
+    return result, loss, noise
+
+
+def main() -> None:
+    graph = build_b2b_network()
+    knowledge = expected_degree_knowledge(graph)
+    epsilon = 0.04
+
+    print(f"B2B network: {graph}")
+    print(f"tolerance epsilon = {epsilon} "
+          f"({int(epsilon * graph.n_nodes)} companies may stay unique)\n")
+
+    header = (f"{'k':>4} {'method':>8} {'sigma':>8} {'noise(L1)':>10} "
+              f"{'rel.loss':>9} {'status':>8}")
+    print(header)
+    print("-" * len(header))
+
+    frontier: dict[tuple[int, str], float] = {}
+    for k in (5, 10, 20):
+        for method in ("rep-an", "me", "rsme"):
+            result, loss, noise = run_method(graph, method, k, epsilon, seed=9)
+            status = "ok" if result.success else "FAILED"
+            frontier[(k, method)] = loss
+            print(f"{k:>4} {method:>8} {result.sigma:>8.4f} {noise:>10.1f} "
+                  f"{loss:>9.4f} {status:>8}")
+        print()
+
+    # The audit conclusion the paper's experiments support:
+    print("audit summary:")
+    for k in (5, 10, 20):
+        repan, rsme = frontier[(k, "rep-an")], frontier[(k, "rsme")]
+        if np.isfinite(repan) and np.isfinite(rsme) and rsme > 0:
+            print(f"  k={k:<3} Chameleon preserves reliability "
+                  f"{repan / max(rsme, 1e-9):.1f}x better than Rep-An")
+
+    # Verify the recommended release formally.
+    k = 10
+    chosen, __, __ = run_method(graph, "rsme", k, epsilon, seed=9)
+    report = repro.check_obfuscation(chosen.graph, k, epsilon,
+                                     knowledge=knowledge)
+    print(f"\nrecommended release: rsme @ k={k}: {report}")
+
+
+if __name__ == "__main__":
+    main()

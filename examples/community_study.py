@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Community preservation and release budgeting.
+
+Two production questions in one study, both on an uncertain graph with
+planted community structure (stochastic block model):
+
+1. **Does anonymization preserve the community signal?**  Measured as
+   expected-modularity drift under the ground-truth partition — the
+   uncertain-graph analogue of "community reconstruction error" from the
+   anonymization literature.
+2. **How many times can we re-release?**  Each independently anonymized
+   release leaks a bit more; the sequential-composition analysis shows
+   the privacy budget burning down.
+
+Run:  python examples/community_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.datasets import stochastic_block_model_edges
+from repro.metrics import (
+    community_probability_profile,
+    expected_modularity,
+    modularity_preservation_error,
+)
+from repro.privacy import composition_report, expected_degree_knowledge
+from repro.ugraph import UncertainGraph
+
+
+def build_community_graph(seed: int = 14):
+    edges, labels = stochastic_block_model_edges(
+        [40, 40, 40, 40], p_within=0.25, p_between=0.015, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    probabilities = rng.uniform(0.4, 0.95, size=len(edges))
+    graph = UncertainGraph(
+        160, [(u, v, float(p)) for (u, v), p in zip(edges, probabilities)]
+    )
+    return graph, labels
+
+
+def main() -> None:
+    graph, labels = build_community_graph()
+    q_original = expected_modularity(graph, labels)
+    profile = community_probability_profile(graph, labels)
+    print(f"community graph : {graph}")
+    print(f"  ground-truth modularity Q = {q_original:.3f} "
+          f"({profile['within_fraction']:.0%} of probability mass "
+          "within communities)\n")
+
+    # --- 1. community preservation across methods --------------------- #
+    k, epsilon = 10, 0.03
+    print(f"modularity drift at (k={k}, eps={epsilon}):")
+    for method in ("rsme", "me"):
+        result = repro.anonymize(graph, k, epsilon, method=method, seed=14,
+                                 n_trials=3, relevance_samples=250)
+        assert result.success, method
+        drift = modularity_preservation_error(graph, result.graph, labels)
+        q_anon = expected_modularity(result.graph, labels)
+        print(f"  {method:6s}: Q {q_original:.3f} -> {q_anon:.3f} "
+              f"(drift {drift:.1%})")
+    repan = repro.rep_an(graph, k, epsilon, seed=14, n_trials=3)
+    assert repan.success
+    drift = modularity_preservation_error(graph, repan.graph, labels)
+    print(f"  rep-an: Q {q_original:.3f} -> "
+          f"{expected_modularity(repan.graph, labels):.3f} "
+          f"(drift {drift:.1%})\n")
+
+    # --- 2. sequential releases ---------------------------------------- #
+    knowledge = expected_degree_knowledge(graph)
+    releases = []
+    for seed in (21, 22, 23, 24):
+        result = repro.anonymize(graph, k, epsilon, seed=seed,
+                                 n_trials=3, relevance_samples=250)
+        assert result.success
+        releases.append(result.graph)
+
+    print("privacy erosion as independently anonymized releases accumulate:")
+    print(f"{'releases':>9} {'attack rate':>12} {'mean entropy':>13} "
+          f"{'k-obfuscated':>13}")
+    for row in composition_report(releases, knowledge, k=k):
+        print(f"{row['releases']:>9} {row['mean_attack_success']:>12.4f} "
+              f"{row['mean_entropy_bits']:>13.2f} "
+              f"{row['fraction_k_obfuscated']:>12.0%}")
+    print("\ntake-away: each re-release spends privacy; the syntactic "
+          "guarantee is per-release,\nso publishers should rotate "
+          "releases deliberately, not casually.")
+
+
+if __name__ == "__main__":
+    main()

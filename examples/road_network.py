@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Weighted uncertain graphs: the road-network scenario.
+
+The paper's related-work section points out why weighted-graph
+anonymizers cannot handle uncertain graphs: a road link carries BOTH a
+travel time (weight) and a jam probability, and the two are different
+kinds of information.  This example builds such a network, answers the
+travel-time queries a navigation service runs, anonymizes the
+probability layer with Chameleon (the weights are payload, the degrees
+are the identity signal), and shows the queries survive.
+
+Run:  python examples/road_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.datasets import chung_lu_edges, power_law_weights
+from repro.ugraph import WeightedUncertainGraph
+
+
+def build_road_network(n_junctions: int = 150, seed: int = 8):
+    """Junction graph with travel times and clear-road probabilities."""
+    rng = np.random.default_rng(seed)
+    degree_weights = power_law_weights(
+        n_junctions, exponent=2.6, min_weight=3.0, seed=rng
+    )
+    edges = chung_lu_edges(degree_weights, seed=rng)
+    quadruples = []
+    for u, v in edges:
+        travel_minutes = float(rng.uniform(2.0, 25.0))
+        clear_probability = float(rng.beta(5.0, 1.5))  # usually passable
+        quadruples.append((u, v, clear_probability, travel_minutes))
+    return WeightedUncertainGraph(n_junctions, quadruples)
+
+
+def main() -> None:
+    network = build_road_network()
+    print(f"road network : {network}")
+
+    # Probe pairs with at least some chance of being connected (skip
+    # junctions isolated by the generator).
+    rng = np.random.default_rng(1)
+    probes = []
+    while len(probes) < 4:
+        a, b = rng.integers(0, network.n_nodes, 2)
+        if a == b:
+            continue
+        __, p_connect = network.expected_weighted_distance(
+            int(a), int(b), n_samples=50, seed=0
+        )
+        if p_connect > 0.3:
+            probes.append((int(a), int(b)))
+
+    print("\ntravel-time queries on the original network:")
+    original_answers = {}
+    for a, b in probes:
+        minutes, p_connect = network.expected_weighted_distance(
+            a, b, n_samples=400, seed=2
+        )
+        original_answers[(a, b)] = (minutes, p_connect)
+        print(f"  {a:3d} -> {b:3d}: E[time | passable] = {minutes:6.1f} min, "
+              f"P(passable) = {p_connect:.2f}")
+
+    # Anonymize the probability layer: jam probabilities + topology are
+    # the sensitive signal; travel times are re-attached afterwards.
+    k, epsilon = 8, 0.05
+    result = repro.anonymize(
+        network.probability_layer, k=k, epsilon=epsilon, method="rsme",
+        seed=8, n_trials=3, relevance_samples=250,
+    )
+    assert result.success
+    released = network.with_probability_layer(
+        result.graph.dropping_zero_edges(),
+        default_weight=float(np.mean(network.edge_weights)),
+    )
+    print(f"\nanonymized at (k={k}, eps={epsilon}): {result}")
+    print(f"released     : {released}")
+
+    print("\nsame queries on the released network:")
+    for a, b in probes:
+        minutes, p_connect = released.expected_weighted_distance(
+            a, b, n_samples=400, seed=2
+        )
+        orig_minutes, orig_p = original_answers[(a, b)]
+        d_min = abs(minutes - orig_minutes)
+        print(f"  {a:3d} -> {b:3d}: {minutes:6.1f} min "
+              f"(was {orig_minutes:6.1f}, drift {d_min:4.1f}), "
+              f"P = {p_connect:.2f} (was {orig_p:.2f})")
+
+    print("\nthe released network answers routing queries within a small "
+          "drift while\nevery junction blends with at least "
+          f"{k} others against degree re-identification.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Motivation Scenario I: publishing a social trust network safely.
+
+Models the paper's first motivating example (Figure 1a): a social network
+whose probabilistic edges encode predicted trust/influence between users.
+The owner wants to release it for research, but a degree-informed
+adversary could re-identify users.
+
+The script builds a named trust network, quantifies the re-identification
+risk before and after anonymization, and shows that Chameleon blocks the
+attack while preserving the trust structure researchers care about.
+
+Run:  python examples/social_trust_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.datasets import chung_lu_edges, power_law_weights, skewed_small
+from repro.privacy import (
+    attack_success_probabilities,
+    expected_degree_knowledge,
+    expected_reidentification_rate,
+)
+from repro.ugraph import UncertainGraphBuilder
+
+
+def build_trust_network(n_users: int = 250, seed: int = 11):
+    """A synthetic trust network with named users.
+
+    Topology: heavy-tailed (a few influencers, many casual users).
+    Trust probabilities: skewed small, like prediction-model outputs.
+    """
+    rng = np.random.default_rng(seed)
+    weights = power_law_weights(n_users, exponent=2.2, min_weight=3.0, seed=rng)
+    edges = chung_lu_edges(weights, seed=rng)
+    trust = skewed_small(len(edges), seed=rng)
+
+    builder = UncertainGraphBuilder()
+    for i in range(n_users):
+        builder.add_node(f"user{i:04d}")
+    for (u, v), p in zip(edges, trust):
+        builder.add_edge(f"user{u:04d}", f"user{v:04d}", float(p))
+    return builder.build()
+
+
+def main() -> None:
+    graph = build_trust_network()
+    print(f"trust network        : {graph}")
+
+    knowledge = expected_degree_knowledge(graph)
+
+    # --- The attack on the raw release -------------------------------- #
+    base_rate = expected_reidentification_rate(graph, knowledge)
+    success = attack_success_probabilities(graph, knowledge)
+    influencers = np.argsort(success)[::-1][:5]
+    print(f"\nadversary with degree knowledge, raw release:")
+    print(f"  expected re-identification rate : {base_rate:.1%}")
+    print("  most exposed users:")
+    labels = graph.labels
+    for v in influencers:
+        print(f"    {labels[v]}  degree~{knowledge[v]:3d}  "
+              f"re-identified with p={success[v]:.2f}")
+
+    # --- Anonymize ------------------------------------------------------ #
+    k, epsilon = 15, 0.04
+    result = repro.anonymize(
+        graph, k=k, epsilon=epsilon, method="rsme", seed=11,
+        n_trials=3, relevance_samples=300,
+    )
+    assert result.success, "anonymization failed; raise epsilon or lower k"
+    print(f"\nchameleon (rsme)     : {result}")
+
+    anon_rate = expected_reidentification_rate(result.graph, knowledge)
+    print(f"  re-identification after release : {anon_rate:.1%} "
+          f"(was {base_rate:.1%})")
+
+    report = repro.check_obfuscation(result.graph, k, epsilon,
+                                     knowledge=knowledge)
+    print(f"  formal guarantee  : every published user blends with >= {k} "
+          f"others ({report.n_obfuscated}/{graph.n_nodes} vertices, "
+          f"tolerance {report.epsilon_achieved:.1%})")
+
+    # --- What did research utility cost? ------------------------------ #
+    discrepancy = repro.average_reliability_discrepancy(
+        graph, result.graph, n_samples=400, seed=12
+    )
+    comparison = repro.compare_graphs(
+        graph, result.graph,
+        metrics=("average_degree", "clustering_coefficient"),
+        n_samples=200, seed=12,
+    )
+    print("\nutility for trust-propagation research:")
+    print(f"  avg reliability discrepancy     : {discrepancy:.4f}")
+    for name, row in comparison.items():
+        print(f"  {name:30s}: {row.original:.4f} -> {row.anonymized:.4f} "
+              f"({row.relative_error:.1%} error)")
+
+    # Influence reachability between specific users survives.
+    est_orig = repro.ReliabilityEstimator(graph, n_samples=500, seed=13)
+    est_anon = repro.ReliabilityEstimator(result.graph, n_samples=500, seed=13)
+    hub = int(influencers[0])
+    probe = [int(v) for v in range(0, graph.n_nodes, graph.n_nodes // 5)][:4]
+    print(f"\ninfluence reach of {labels[hub]} (two-terminal reliability):")
+    for v in probe:
+        if v == hub:
+            continue
+        print(f"  -> {labels[v]}: {est_orig.two_terminal(hub, v):.3f} "
+              f"(anonymized {est_anon.two_terminal(hub, v):.3f})")
+
+
+if __name__ == "__main__":
+    main()

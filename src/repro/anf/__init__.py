@@ -1,0 +1,24 @@
+"""Approximate Neighborhood Function (ANF) sketches.
+
+Used by :mod:`repro.metrics.distance` to estimate shortest-path
+statistics of sampled possible worlds, as the paper does with ANF [8].
+"""
+
+from .neighborhood import (
+    DistanceStatistics,
+    bfs_neighborhood_profile,
+    distance_statistics_from_profile,
+    neighborhood_profile,
+)
+from .sketch import PHI, estimate_cardinality, merge, seed_sketches
+
+__all__ = [
+    "seed_sketches",
+    "merge",
+    "estimate_cardinality",
+    "PHI",
+    "neighborhood_profile",
+    "bfs_neighborhood_profile",
+    "distance_statistics_from_profile",
+    "DistanceStatistics",
+]

@@ -1,0 +1,78 @@
+"""Flajolet-Martin bit sketches for approximate set cardinality.
+
+The Approximate Neighborhood Function (ANF, Palmer et al.; the HyperANF
+of ref. [8] is its modern descendant) estimates how many vertices are
+reachable within ``h`` hops of each vertex without materializing the
+sets.  The primitive is the FM sketch: each element sets one bit drawn
+geometrically (bit ``i`` with probability ``2^-(i+1)``); a set's sketch
+is the OR of its elements' sketches, and the position of the lowest zero
+bit estimates ``log2`` of the cardinality.
+
+Sketches here are packed ``K`` per element into a ``(n, K)`` uint64
+array, so the graph propagation step in
+:mod:`repro.anf.neighborhood` is pure vectorized bitwise-OR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_generator
+
+__all__ = [
+    "seed_sketches",
+    "merge",
+    "estimate_cardinality",
+    "PHI",
+]
+
+#: Flajolet-Martin correction constant: E[2^R] = PHI * cardinality.
+PHI = 0.77351
+
+_BITS = 64
+
+
+def seed_sketches(n_elements: int, n_sketches: int = 8, seed=None) -> np.ndarray:
+    """Singleton sketches: one geometric bit set per element per sketch.
+
+    Returns a ``(n_elements, n_sketches)`` uint64 array where row ``v``
+    sketches the set ``{v}``.
+    """
+    if n_sketches < 1:
+        raise ValueError(f"n_sketches must be >= 1, got {n_sketches}")
+    rng = as_generator(seed)
+    # Geometric bit positions, capped at the top bit.
+    positions = rng.geometric(0.5, size=(n_elements, n_sketches)) - 1
+    positions = np.minimum(positions, _BITS - 1).astype(np.uint64)
+    return (np.uint64(1) << positions).astype(np.uint64)
+
+
+def merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Union of the sketched sets: elementwise bitwise OR."""
+    return np.bitwise_or(a, b)
+
+
+def _lowest_zero_bit(values: np.ndarray) -> np.ndarray:
+    """Index of the lowest zero bit of each uint64 (vectorized).
+
+    ``~v & (v + 1)`` isolates the lowest zero bit as a power of two; its
+    log2 is the index.  An all-ones word maps to 64.
+    """
+    v = values.astype(np.uint64)
+    isolated = np.bitwise_and(np.bitwise_not(v), v + np.uint64(1))
+    out = np.full(v.shape, _BITS, dtype=np.float64)
+    nonzero = isolated != 0
+    # log2 of an exact power of two is exact in float64.
+    out[nonzero] = np.log2(isolated[nonzero].astype(np.float64))
+    return out
+
+
+def estimate_cardinality(sketches: np.ndarray) -> np.ndarray:
+    """Cardinality estimate per row of a ``(n, K)`` sketch array.
+
+    Averages the lowest-zero-bit index across the ``K`` sketches before
+    exponentiating (the classic variance-reduction of FM).
+    """
+    sketches = np.atleast_2d(np.asarray(sketches, dtype=np.uint64))
+    mean_bits = _lowest_zero_bit(sketches).mean(axis=1)
+    return (2.0**mean_bits) / PHI

@@ -1,0 +1,70 @@
+"""Obfuscation of *deterministic* graphs (Boldi et al., VLDB 2012).
+
+The state-of-the-art deterministic-graph anonymizer injects uncertainty:
+selected existing edges get probability ``1 - r`` and selected non-edges
+get ``r``, with ``r`` from a truncated normal whose scale is found by the
+same bracketing + bisection search Chameleon uses.
+
+This is exactly the special case of the Chameleon machinery where every
+input probability is 0 or 1 (Section V-F notes the reduction), so the
+implementation *reuses* :class:`repro.core.Chameleon` with an
+uncertainty-unaware configuration: uniqueness-only selection (no
+reliability relevance -- the method predates it) and the max-entropy rule,
+which on binary probabilities coincides with Boldi's injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.chameleon import Chameleon
+from ..core.config import ChameleonConfig
+from ..core.result import AnonymizationResult
+from ..exceptions import ObfuscationError
+from ..ugraph.graph import UncertainGraph
+
+__all__ = ["obfuscate_deterministic"]
+
+
+def _require_deterministic(graph: UncertainGraph) -> None:
+    p = graph.edge_probabilities
+    if p.size and not np.all((p == 0.0) | (p == 1.0)):
+        raise ObfuscationError(
+            "obfuscate_deterministic expects a deterministic graph "
+            "(all probabilities 0 or 1); use repro.core.anonymize for "
+            "uncertain inputs"
+        )
+
+
+def obfuscate_deterministic(
+    graph: UncertainGraph,
+    k: int,
+    epsilon: float,
+    seed=None,
+    **config_overrides,
+) -> AnonymizationResult:
+    """(k, epsilon)-obfuscate a deterministic graph a la Boldi et al.
+
+    Parameters
+    ----------
+    graph:
+        Deterministic graph encoded with probability-1 edges.
+    k, epsilon:
+        Privacy target.
+    config_overrides:
+        Any :class:`ChameleonConfig` field (``n_trials``,
+        ``size_multiplier``, ...).
+
+    Returns the uncertain output graph wrapped in an
+    :class:`AnonymizationResult` with method name ``"boldi"``.
+    """
+    _require_deterministic(graph)
+    config = ChameleonConfig(
+        k=k,
+        epsilon=epsilon,
+        selection_mode="uniqueness-only",
+        perturbation_mode="max-entropy",
+        name="boldi",
+        **config_overrides,
+    )
+    return Chameleon(config).anonymize(graph, seed=seed)

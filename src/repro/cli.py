@@ -1,0 +1,267 @@
+"""Command-line interface: ``chameleon <subcommand>``.
+
+Subcommands
+-----------
+``generate``   materialize a dataset profile as an edge-list file
+``anonymize``  run a method (rsme / rs / me / rep-an) on a graph file
+``check``      evaluate the (k, epsilon)-obfuscation criterion
+``evaluate``   compare an anonymized graph against the original
+``summary``    print Table-I style dataset characteristics
+
+All subcommands speak the probabilistic edge-list format
+(``u v p`` lines) so they compose through the filesystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .baselines import rep_an
+from .core import anonymize
+from .datasets import dataset_tolerance, load_dataset
+from .exceptions import ReproError
+from .metrics import compare_graphs
+from .privacy import check_obfuscation, expected_degree_knowledge
+from .ugraph import read_edge_list, summarize, write_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="chameleon",
+        description="Reliability-preserving anonymization of uncertain graphs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="materialize a dataset profile")
+    gen.add_argument("profile", help="dblp | brightkite | ppi")
+    gen.add_argument("output", help="edge-list file to write")
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=None)
+
+    anon = sub.add_parser("anonymize", help="anonymize an uncertain graph")
+    anon.add_argument("input", help="edge-list file or profile name")
+    anon.add_argument("output", help="edge-list file for the anonymized graph")
+    anon.add_argument("--method", default="rsme",
+                      choices=("rsme", "rs", "me", "rep-an"))
+    anon.add_argument("--k", type=int, required=True)
+    anon.add_argument("--epsilon", type=float, default=None,
+                      help="tolerance (defaults to the profile's)")
+    anon.add_argument("--trials", type=int, default=5)
+    anon.add_argument("--seed", type=int, default=None)
+
+    check = sub.add_parser("check", help="evaluate (k, epsilon)-obfuscation")
+    check.add_argument("published", help="edge-list file or profile name")
+    check.add_argument("--k", type=int, required=True)
+    check.add_argument("--epsilon", type=float, default=0.05)
+    check.add_argument("--original", default=None,
+                       help="graph whose degrees the adversary knows")
+
+    ev = sub.add_parser("evaluate", help="utility comparison of two graphs")
+    ev.add_argument("original", help="edge-list file or profile name")
+    ev.add_argument("anonymized", help="edge-list file")
+    ev.add_argument("--samples", type=int, default=200)
+    ev.add_argument("--seed", type=int, default=None)
+
+    summ = sub.add_parser("summary", help="dataset characteristics (Table I)")
+    summ.add_argument("input", help="edge-list file or profile name")
+    summ.add_argument("--seed", type=int, default=None)
+
+    rep = sub.add_parser("report", help="full Markdown release report")
+    rep.add_argument("original", help="edge-list file or profile name")
+    rep.add_argument("anonymized", help="edge-list file")
+    rep.add_argument("--k", type=int, required=True)
+    rep.add_argument("--epsilon", type=float, default=0.05)
+    rep.add_argument("--samples", type=int, default=200)
+    rep.add_argument("--seed", type=int, default=None)
+    rep.add_argument("--output", default=None,
+                     help="write the report here instead of stdout")
+
+    diag = sub.add_parser("diagnose",
+                          help="structural feasibility of a privacy target")
+    diag.add_argument("input", help="edge-list file or profile name")
+    diag.add_argument("--k", type=int, required=True)
+    diag.add_argument("--epsilon", type=float, default=0.05)
+    diag.add_argument("--multiplier", type=float, default=2.0,
+                      help="candidate multiplier c the anonymizer will use")
+
+    sweep = sub.add_parser("sweep",
+                           help="privacy/utility frontier over several k")
+    sweep.add_argument("input", help="edge-list file or profile name")
+    sweep.add_argument("--k", type=int, nargs="+", required=True,
+                       help="privacy levels, e.g. --k 5 10 20")
+    sweep.add_argument("--epsilon", type=float, default=None)
+    sweep.add_argument("--method", default="rsme",
+                       choices=("rsme", "rs", "me"))
+    sweep.add_argument("--trials", type=int, default=4)
+    sweep.add_argument("--samples", type=int, default=300,
+                       help="Monte-Carlo worlds for the utility column")
+    sweep.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _load(source: str, seed=None):
+    return load_dataset(source, seed=seed)
+
+
+def _cmd_generate(args) -> int:
+    graph = load_dataset(args.profile, scale=args.scale, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(f"wrote {graph.n_nodes} nodes / {graph.n_edges} edges to {args.output}")
+    return 0
+
+
+def _cmd_anonymize(args) -> int:
+    graph = _load(args.input, seed=args.seed)
+    epsilon = args.epsilon
+    if epsilon is None:
+        epsilon = dataset_tolerance(args.input)
+    if args.method == "rep-an":
+        result = rep_an(graph, args.k, epsilon, seed=args.seed,
+                        n_trials=args.trials)
+    else:
+        result = anonymize(graph, args.k, epsilon, method=args.method,
+                           seed=args.seed, n_trials=args.trials)
+    if not result.success:
+        print(
+            f"FAILED: no (k={args.k}, eps={epsilon}) obfuscation found",
+            file=sys.stderr,
+        )
+        return 1
+    write_edge_list(result.graph.dropping_zero_edges(), args.output)
+    print(json.dumps(result.summary(), indent=2))
+    return 0
+
+
+def _cmd_check(args) -> int:
+    published = _load(args.published)
+    knowledge = None
+    if args.original:
+        knowledge = expected_degree_knowledge(_load(args.original))
+    report = check_obfuscation(published, args.k, args.epsilon,
+                               knowledge=knowledge)
+    print(json.dumps({
+        "k": report.k,
+        "epsilon": report.epsilon,
+        "epsilon_achieved": report.epsilon_achieved,
+        "satisfied": report.satisfied,
+        "n_obfuscated": report.n_obfuscated,
+        "n_nodes": int(report.obfuscated.shape[0]),
+    }, indent=2))
+    return 0 if report.satisfied else 1
+
+
+def _cmd_evaluate(args) -> int:
+    original = _load(args.original, seed=args.seed)
+    anonymized = read_edge_list(args.anonymized)
+    comparison = compare_graphs(
+        original, anonymized, n_samples=args.samples, seed=args.seed
+    )
+    rows = {
+        name: {
+            "original": c.original,
+            "anonymized": c.anonymized,
+            "relative_error": c.relative_error,
+        }
+        for name, c in comparison.items()
+    }
+    print(json.dumps(rows, indent=2))
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    graph = _load(args.input, seed=args.seed)
+    print(json.dumps(summarize(graph), indent=2))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .report import build_report
+
+    original = _load(args.original, seed=args.seed)
+    anonymized = read_edge_list(args.anonymized)
+    text = build_report(
+        original, anonymized, args.k, args.epsilon,
+        n_samples=args.samples, seed=args.seed,
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from .core import diagnose_feasibility
+
+    graph = _load(args.input)
+    report = diagnose_feasibility(
+        graph, args.k, args.epsilon, candidate_multiplier=args.multiplier
+    )
+    print(json.dumps(report.summary(), indent=2))
+    return 0 if report.feasible else 1
+
+
+def _cmd_sweep(args) -> int:
+    from .core import sweep_anonymize
+    from .metrics import average_reliability_discrepancy
+
+    graph = _load(args.input, seed=args.seed)
+    epsilon = args.epsilon
+    if epsilon is None:
+        epsilon = dataset_tolerance(args.input)
+    results = sweep_anonymize(
+        graph, args.k, epsilon, method=args.method, seed=args.seed,
+        n_trials=args.trials,
+    )
+    header = f"{'k':>6} {'status':>8} {'sigma':>10} {'rel.loss':>10}"
+    print(header)
+    print("-" * len(header))
+    any_failed = False
+    for k in args.k:
+        result = results[k]
+        if result.success:
+            loss = average_reliability_discrepancy(
+                graph, result.graph, n_samples=args.samples, seed=args.seed,
+            )
+            print(f"{k:>6} {'ok':>8} {result.sigma:>10.4f} {loss:>10.4f}")
+        else:
+            any_failed = True
+            print(f"{k:>6} {'FAILED':>8} {'-':>10} {'-':>10}")
+    return 1 if any_failed else 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "anonymize": _cmd_anonymize,
+    "check": _cmd_check,
+    "evaluate": _cmd_evaluate,
+    "summary": _cmd_summary,
+    "report": _cmd_report,
+    "diagnose": _cmd_diagnose,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

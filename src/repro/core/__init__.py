@@ -1,0 +1,58 @@
+"""The paper's primary contribution: the Chameleon anonymizer.
+
+* :class:`ChameleonConfig` / :func:`variant_config` -- configuration and
+  the RSME / RS / ME variant presets (Table II).
+* :func:`anonymize` / :class:`Chameleon` -- Algorithm 1 (noise search).
+* :func:`gen_obf` -- Algorithm 3 (randomized obfuscation attempt).
+* :mod:`repro.core.noise` -- truncated-normal noise and the max-entropy
+  perturbation rule (Section V-F).
+* :mod:`repro.core.selection` -- uncertainty-aware edge selection.
+"""
+
+from .calibration import calibrate_k, k_for_attack_rate
+from .chameleon import Chameleon, anonymize
+from .frontier import FrontierPoint, privacy_utility_frontier
+from .config import VARIANTS, ChameleonConfig, variant_config
+from .diagnostics import FeasibilityReport, diagnose_feasibility
+from .refine import RefinementStats, refine_anonymization
+from .sweep import sweep_anonymize
+from .genobf import SelectionContext, build_selection_context, gen_obf
+from .noise import (
+    apply_max_entropy,
+    apply_naive,
+    draw_noise,
+    perturb_probabilities,
+    truncated_normal_noise,
+)
+from .result import AnonymizationResult, GenObfOutcome
+from .selection import exclusion_set, select_candidate_edges, selection_weights
+
+__all__ = [
+    "Chameleon",
+    "anonymize",
+    "ChameleonConfig",
+    "variant_config",
+    "VARIANTS",
+    "SelectionContext",
+    "build_selection_context",
+    "gen_obf",
+    "AnonymizationResult",
+    "GenObfOutcome",
+    "truncated_normal_noise",
+    "draw_noise",
+    "apply_max_entropy",
+    "apply_naive",
+    "perturb_probabilities",
+    "exclusion_set",
+    "selection_weights",
+    "select_candidate_edges",
+    "FeasibilityReport",
+    "diagnose_feasibility",
+    "RefinementStats",
+    "refine_anonymization",
+    "sweep_anonymize",
+    "calibrate_k",
+    "k_for_attack_rate",
+    "FrontierPoint",
+    "privacy_utility_frontier",
+]

@@ -1,0 +1,111 @@
+"""Risk-calibrated privacy-parameter selection.
+
+Publishers reason in operational terms -- "no more than 1% of users may
+be re-identifiable" -- while the anonymizer takes syntactic ``(k,
+epsilon)``.  These helpers translate:
+
+* :func:`k_for_attack_rate` -- the smallest k whose entropy floor
+  guarantees a given expected re-identification rate (closed form:
+  entropy >= log2 k caps the posterior mass any candidate receives at
+  roughly 1/k; we use the exact worst-case bound 1/k on obfuscated
+  vertices and 1 on the epsilon-tolerated remainder).
+* :func:`calibrate_k` -- empirical version: anonymize at increasing k
+  until the *measured* attack rate on the output drops below the target
+  (or the feasibility ceiling is hit).
+
+The closed-form bound is conservative; the empirical calibration costs
+anonymization runs but reflects this graph's actual behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ObfuscationError
+from ..privacy.attack import expected_reidentification_rate
+from ..privacy.degree_distribution import expected_degree_knowledge
+from ..ugraph.graph import UncertainGraph
+from .chameleon import anonymize
+from .diagnostics import diagnose_feasibility
+from .result import AnonymizationResult
+
+__all__ = ["k_for_attack_rate", "calibrate_k"]
+
+
+def k_for_attack_rate(
+    target_rate: float, epsilon: float, n_nodes: int
+) -> int:
+    """Smallest k whose worst-case guarantee meets ``target_rate``.
+
+    A k-obfuscated vertex faces entropy >= log2 k, which bounds the
+    adversary's expected success on it by 1/k (achieved by the uniform
+    posterior; any other distribution at the same entropy gives the true
+    vertex no more expected mass in the worst case we guard against).
+    The epsilon-tolerated vertices may be fully identified, so the
+    worst-case expected rate is ``epsilon + (1 - epsilon)/k``; solve for
+    the smallest integer k.
+    """
+    if not 0.0 < target_rate < 1.0:
+        raise ObfuscationError(
+            f"target_rate must be in (0, 1), got {target_rate}"
+        )
+    if not 0.0 <= epsilon < 1.0:
+        raise ObfuscationError(f"epsilon must be in [0, 1), got {epsilon}")
+    if epsilon >= target_rate:
+        raise ObfuscationError(
+            f"epsilon ({epsilon}) already exceeds the target rate "
+            f"({target_rate}); the tolerated vertices alone break the budget"
+        )
+    k = int(np.ceil((1.0 - epsilon) / (target_rate - epsilon)))
+    return max(2, min(k, n_nodes))
+
+
+def calibrate_k(
+    graph: UncertainGraph,
+    target_rate: float,
+    epsilon: float,
+    method: str = "rsme",
+    k_grid=None,
+    seed=None,
+    **config_overrides,
+) -> tuple[int, AnonymizationResult]:
+    """Find a k whose anonymized output measures below ``target_rate``.
+
+    Walks ``k_grid`` (default: doubling from 2 up to the feasibility
+    ceiling) and returns the first ``(k, result)`` whose released graph's
+    measured expected re-identification rate (against the original
+    knowledge) is within the target.  Raises when no grid point achieves
+    it.
+    """
+    knowledge = expected_degree_knowledge(graph)
+    ceiling = diagnose_feasibility(
+        graph, 2, epsilon,
+        candidate_multiplier=config_overrides.get("size_multiplier", 2.0),
+    ).max_feasible_k
+    if k_grid is None:
+        k_grid = []
+        k = 2
+        while k <= ceiling:
+            k_grid.append(k)
+            k *= 2
+        if not k_grid or k_grid[-1] != ceiling:
+            k_grid.append(ceiling)
+
+    last_error = None
+    for k in k_grid:
+        if k > graph.n_nodes:
+            continue
+        result = anonymize(
+            graph, k, epsilon, method=method, seed=seed, **config_overrides
+        )
+        if not result.success:
+            last_error = f"anonymization failed at k={k}"
+            continue
+        rate = expected_reidentification_rate(result.graph, knowledge)
+        if rate <= target_rate:
+            return k, result
+        last_error = f"k={k} measured rate {rate:.4f} > {target_rate}"
+    raise ObfuscationError(
+        "no k in the grid met the target re-identification rate "
+        f"({target_rate}); last attempt: {last_error}"
+    )

@@ -1,0 +1,220 @@
+"""The Chameleon anonymizer: noise-level search skeleton (Algorithm 1).
+
+Chameleon wraps GenObf in a search for the *smallest* noise parameter
+``sigma`` that still yields a (k, epsilon)-obfuscation:
+
+1. **Bracketing**: starting from ``sigma_initial``, probe alternating
+   ``2^i`` and ``2^-i`` multiples until GenObf succeeds (the paper only
+   doubles upward; on uncertain graphs excessive noise can also fail --
+   see EXPERIMENTS.md deviation 4).  Exhausting both directions is a
+   hard failure.
+2. **Bisection**: shrink ``[sigma_l, sigma_u]`` until the bracket is
+   narrower than ``sigma_tolerance``, keeping the best (smallest-sigma)
+   successful graph seen.
+
+Because smaller ``sigma`` means less perturbation, the accepted output is
+the highest-utility obfuscation the randomized search can certify.
+
+Use :func:`anonymize` for a one-call API or :class:`Chameleon` when the
+same configuration is applied to several graphs.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+
+from .._rng import as_generator
+from ..privacy.degree_distribution import expected_degree_knowledge
+from ..ugraph.graph import UncertainGraph
+from ..ugraph.validation import validate_graph, validate_privacy_parameters
+from .config import ChameleonConfig, variant_config
+from .genobf import build_selection_context, gen_obf
+from .result import AnonymizationResult, GenObfOutcome
+
+__all__ = ["Chameleon", "anonymize"]
+
+#: Smallest noise level the bracketing phase probes downward to.
+_SIGMA_FLOOR = 1e-4
+
+logger = logging.getLogger("repro.core.chameleon")
+
+
+class Chameleon:
+    """Reusable anonymizer bound to one :class:`ChameleonConfig`.
+
+    Example
+    -------
+    >>> from repro.core import Chameleon, variant_config
+    >>> anonymizer = Chameleon(variant_config("rsme", k=10, epsilon=0.05))
+    >>> result = anonymizer.anonymize(graph)      # doctest: +SKIP
+    >>> result.success, result.sigma              # doctest: +SKIP
+    """
+
+    def __init__(self, config: ChameleonConfig):
+        self._config = config
+
+    @property
+    def config(self) -> ChameleonConfig:
+        return self._config
+
+    def anonymize(
+        self,
+        graph: UncertainGraph,
+        knowledge: np.ndarray | None = None,
+        seed=None,
+    ) -> AnonymizationResult:
+        """Run the full Algorithm 1 search on ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The original uncertain graph.
+        knowledge:
+            Adversary degree knowledge; defaults to the rounded expected
+            degrees of ``graph`` (the paper's attack model).
+        seed:
+            Overrides ``config.seed`` for this run.
+
+        Returns an :class:`AnonymizationResult`; ``result.success`` is
+        False only when even ``sigma_max`` noise cannot reach the target.
+        """
+        config = self._config
+        validate_graph(graph)
+        validate_privacy_parameters(graph, config.k, config.epsilon)
+        rng = as_generator(seed if seed is not None else config.seed)
+        if knowledge is None:
+            knowledge = expected_degree_knowledge(graph)
+
+        started = time.perf_counter()
+        context = build_selection_context(graph, config, knowledge, seed=rng)
+        history: list[tuple[float, float]] = []
+        calls = 0
+
+        logger.debug(
+            "anonymize start: method=%s k=%d eps=%g n=%d |E|=%d",
+            config.name, config.k, config.epsilon,
+            graph.n_nodes, graph.n_edges,
+        )
+
+        def run(sigma: float) -> GenObfOutcome:
+            nonlocal calls
+            calls += 1
+            outcome = gen_obf(graph, config, sigma, context, seed=rng)
+            history.append((outcome.sigma, outcome.epsilon_achieved))
+            logger.debug(
+                "GenObf sigma=%.5g -> eps_hat=%.4g (%s)",
+                outcome.sigma, outcome.epsilon_achieved,
+                "ok" if outcome.success else "fail",
+            )
+            return outcome
+
+        # Phase 1 -- exponential bracketing (Algorithm 1, lines 1-5),
+        # extended to probe in BOTH directions.  The paper doubles sigma on
+        # failure, which assumes privacy is monotone in noise; on uncertain
+        # graphs the max-entropy rule reflects past r = 1/2 (p~ -> 1 - p),
+        # so excessive noise can also fail and the feasible region is a
+        # band.  We alternate 2^i and 2^-i multiples of sigma_initial until
+        # one succeeds (see DESIGN.md, documented deviations).
+        best: GenObfOutcome | None = None
+        sigma_high = config.sigma_initial
+        probes = [config.sigma_initial]
+        factor = 2.0
+        while (
+            config.sigma_initial * factor <= config.sigma_max
+            or config.sigma_initial / factor >= _SIGMA_FLOOR
+        ):
+            if config.sigma_initial * factor <= config.sigma_max:
+                probes.append(config.sigma_initial * factor)
+            if config.sigma_initial / factor >= _SIGMA_FLOOR:
+                probes.append(config.sigma_initial / factor)
+            factor *= 2.0
+        for sigma in probes:
+            outcome = run(sigma)
+            if outcome.success:
+                best = outcome
+                sigma_high = sigma
+                break
+        if best is None:
+            elapsed = time.perf_counter() - started
+            logger.warning(
+                "anonymize FAILED: no (k=%d, eps=%g)-obfuscation at any "
+                "probed sigma (%d GenObf calls)",
+                config.k, config.epsilon, calls,
+            )
+            return AnonymizationResult(
+                graph=None,
+                method=config.name,
+                k=config.k,
+                epsilon=config.epsilon,
+                sigma=float(probes[-1]),
+                epsilon_achieved=1.0,
+                report=None,
+                n_genobf_calls=calls,
+                sigma_history=tuple(history),
+                elapsed_seconds=elapsed,
+            )
+        sigma_low = 0.0
+
+        # Phase 2 -- bisection (Algorithm 1, lines 6-11).
+        while sigma_high - sigma_low > config.sigma_tolerance:
+            sigma_mid = (sigma_high + sigma_low) / 2.0
+            outcome = run(sigma_mid)
+            if outcome.success:
+                sigma_high = sigma_mid
+                best = outcome
+            else:
+                sigma_low = sigma_mid
+
+        elapsed = time.perf_counter() - started
+        assert best is not None and best.graph is not None
+        logger.info(
+            "anonymize ok: method=%s k=%d sigma=%.5g eps_hat=%.4g "
+            "(%d GenObf calls, %.2fs)",
+            config.name, config.k, best.sigma, best.epsilon_achieved,
+            calls, elapsed,
+        )
+        return AnonymizationResult(
+            graph=best.graph,
+            method=config.name,
+            k=config.k,
+            epsilon=config.epsilon,
+            sigma=best.sigma,
+            epsilon_achieved=best.epsilon_achieved,
+            report=best.report,
+            n_genobf_calls=calls,
+            sigma_history=tuple(history),
+            elapsed_seconds=elapsed,
+        )
+
+
+def anonymize(
+    graph: UncertainGraph,
+    k: int,
+    epsilon: float,
+    method: str = "rsme",
+    seed=None,
+    **config_overrides,
+) -> AnonymizationResult:
+    """One-call anonymization with a named Chameleon variant.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to anonymize.
+    k, epsilon:
+        The (k, epsilon)-obfuscation target.
+    method:
+        ``"rsme"`` (full Chameleon), ``"rs"`` or ``"me"`` (ablations); for
+        the Rep-An baseline see :func:`repro.baselines.rep_an`.
+    seed:
+        Reproducibility seed.
+    config_overrides:
+        Any other :class:`ChameleonConfig` field.
+    """
+    config = variant_config(
+        method, k=k, epsilon=epsilon, seed=None, **config_overrides
+    )
+    return Chameleon(config).anonymize(graph, seed=seed)

@@ -1,0 +1,202 @@
+"""The GenObf search step (Algorithm 3).
+
+``GenObf`` looks for a (k, epsilon)-obfuscation of the input uncertain
+graph at a *fixed* noise level ``sigma``.  It runs ``t`` randomized
+trials; each trial
+
+1. samples a candidate edge set ``E_C`` around unique / low-relevance
+   vertices (:mod:`repro.core.selection`),
+2. splits the noise budget across the candidates proportionally to their
+   endpoints' combined score ``Q^e = (Q^u + Q^v) / 2``, so that the mean
+   per-edge scale equals ``sigma``,
+3. perturbs the candidate probabilities (:mod:`repro.core.noise`), and
+4. checks the (k, epsilon)-obfuscation criterion against the adversary
+   knowledge extracted from the *original* graph.
+
+The best (lowest achieved epsilon) satisfying candidate over the trials
+is returned; the sentinel ``epsilon_achieved = 1`` reports total failure,
+which the sigma search in :mod:`repro.core.chameleon` interprets as "more
+noise needed".
+
+The expensive per-graph invariants -- uniqueness scores, reliability
+relevance, exclusion set, sampling weights -- do not depend on ``sigma``,
+so they are computed once per anonymization run and passed in via
+:class:`SelectionContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import as_generator
+from ..privacy.obfuscation import check_obfuscation
+from ..privacy.uniqueness import degree_uniqueness
+from ..reliability.relevance import compute_relevance
+from ..ugraph.graph import UncertainGraph
+from ..ugraph.operations import overlay
+from .config import ChameleonConfig
+from .noise import perturb_probabilities
+from .result import FAILURE_EPSILON, GenObfOutcome
+from .selection import exclusion_set, select_candidate_edges, selection_weights
+
+__all__ = ["SelectionContext", "build_selection_context", "gen_obf"]
+
+
+@dataclass(frozen=True)
+class SelectionContext:
+    """Sigma-independent invariants shared across all GenObf calls.
+
+    Attributes
+    ----------
+    uniqueness:
+        Per-vertex uniqueness scores ``U^v`` (Definition 4).
+    vertex_relevance:
+        Per-vertex reliability relevance ``VRR^v`` (zeros for variants
+        that ignore utility during selection).
+    excluded:
+        The exclusion set ``H`` (sorted vertex indices).
+    weights:
+        The normalized sampling distribution ``Q`` over vertices.
+    knowledge:
+        Adversary degree knowledge ``P(v)`` from the original graph.
+    """
+
+    uniqueness: np.ndarray
+    vertex_relevance: np.ndarray
+    excluded: np.ndarray
+    weights: np.ndarray
+    knowledge: np.ndarray
+
+
+def build_selection_context(
+    graph: UncertainGraph,
+    config: ChameleonConfig,
+    knowledge: np.ndarray,
+    seed=None,
+) -> SelectionContext:
+    """Compute uniqueness, relevance, exclusion and weights for a run."""
+    rng = as_generator(seed)
+    uniqueness = degree_uniqueness(graph, theta=config.uniqueness_bandwidth)
+
+    if config.reliability_oriented:
+        relevance = compute_relevance(
+            graph,
+            n_samples=config.relevance_samples,
+            seed=rng,
+            method=config.relevance_method,
+        )
+        vrr = relevance.vertex_relevance
+    else:
+        vrr = np.zeros(graph.n_nodes, dtype=np.float64)
+
+    # Exclusion always keys on U * VRR; without relevance information it
+    # degrades to pure uniqueness ranking.
+    ranking = vrr if config.reliability_oriented else np.ones_like(uniqueness)
+    excluded = exclusion_set(uniqueness, ranking, config.epsilon)
+
+    if config.reliability_oriented:
+        # Algorithm 3 line 5: normalize VRR over V \ H only, so an
+        # extreme excluded vertex does not compress everyone else's
+        # damping factor.
+        remaining = np.ones(graph.n_nodes, dtype=bool)
+        if excluded.size:
+            remaining[excluded] = False
+        top = vrr[remaining].max(initial=0.0) if remaining.any() else 0.0
+        vrr_normalized = (
+            np.clip(vrr / top, 0.0, 1.0) if top > 0.0
+            else np.zeros_like(vrr)
+        )
+    else:
+        vrr_normalized = None
+
+    weights = selection_weights(
+        uniqueness,
+        normalized_relevance=vrr_normalized,
+        excluded=excluded,
+    )
+    return SelectionContext(
+        uniqueness=uniqueness,
+        vertex_relevance=vrr,
+        excluded=excluded,
+        weights=weights,
+        knowledge=np.asarray(knowledge, dtype=np.int64),
+    )
+
+
+def _edge_noise_scales(
+    pairs: list[tuple[int, int]],
+    vertex_scores: np.ndarray,
+    sigma: float,
+) -> np.ndarray:
+    """Per-edge scales ``sigma(e)`` with mean exactly ``sigma``.
+
+    ``sigma(e) = sigma * |E_C| * Q^e / sum Q^e`` where
+    ``Q^e = (Q^u + Q^v) / 2`` (Algorithm 3, "edge perturbation").  A
+    degenerate all-zero score vector falls back to the uniform budget.
+    """
+    if not pairs:
+        return np.zeros(0, dtype=np.float64)
+    us = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+    vs = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+    q_edge = (vertex_scores[us] + vertex_scores[vs]) / 2.0
+    total = q_edge.sum()
+    if total <= 0.0:
+        return np.full(len(pairs), sigma, dtype=np.float64)
+    return sigma * len(pairs) * q_edge / total
+
+
+def gen_obf(
+    graph: UncertainGraph,
+    config: ChameleonConfig,
+    sigma: float,
+    context: SelectionContext,
+    seed=None,
+) -> GenObfOutcome:
+    """One GenObf call: ``t`` trials at noise level ``sigma``.
+
+    Returns the best satisfying candidate or the failure sentinel
+    (``epsilon_achieved == 1``).
+    """
+    rng = as_generator(seed)
+    best_epsilon = FAILURE_EPSILON
+    best_graph = None
+    best_report = None
+
+    for __ in range(config.n_trials):
+        pairs = select_candidate_edges(
+            graph,
+            context.weights,
+            config.size_multiplier,
+            seed=rng,
+        )
+        if not pairs:
+            continue
+        current = np.asarray([graph.probability(u, v) for u, v in pairs])
+        scales = _edge_noise_scales(pairs, context.weights, sigma)
+        perturbed = perturb_probabilities(
+            current,
+            scales,
+            mode=config.perturbation_mode,
+            white_noise=config.white_noise,
+            seed=rng,
+        )
+        candidate = overlay(
+            graph, ((u, v, p) for (u, v), p in zip(pairs, perturbed))
+        )
+        report = check_obfuscation(
+            candidate, config.k, config.epsilon, knowledge=context.knowledge
+        )
+        if report.satisfied and report.epsilon_achieved < best_epsilon:
+            best_epsilon = report.epsilon_achieved
+            best_graph = candidate
+            best_report = report
+
+    return GenObfOutcome(
+        sigma=float(sigma),
+        epsilon_achieved=float(best_epsilon),
+        graph=best_graph,
+        report=best_report,
+        n_trials=config.n_trials,
+    )

@@ -1,0 +1,165 @@
+"""Post-anonymization utility refinement.
+
+GenObf injects the noise a *randomized* trial needed; typically some of
+it is overshoot -- edges whose perturbation the accepted solution does
+not actually need to stay (k, epsilon)-obfuscated.  This optional
+post-processor walks the perturbed edges in decreasing order of wasted
+utility (|p~ - p| weighted by reliability relevance), reverts them to
+their original probabilities in batches, and keeps every reversion that
+preserves the privacy guarantee.
+
+The result is an anonymized graph with strictly less injected noise --
+and therefore strictly smaller reliability discrepancy -- at the same
+syntactic privacy level.  This realizes the "judicious modification"
+direction the paper leaves as engineering refinement, and its value is
+quantified by ``benchmarks/bench_ablation_refinement.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .._rng import as_generator
+from ..exceptions import ObfuscationError
+from ..privacy.degree_distribution import expected_degree_knowledge
+from ..privacy.obfuscation import check_obfuscation
+from ..reliability.relevance import edge_reliability_relevance
+from ..ugraph.graph import UncertainGraph
+from ..ugraph.operations import edge_probability_map, overlay
+from .result import AnonymizationResult
+
+__all__ = ["RefinementStats", "refine_anonymization"]
+
+
+@dataclass(frozen=True)
+class RefinementStats:
+    """What the refinement pass changed."""
+
+    edges_considered: int
+    edges_reverted: int
+    noise_before: float
+    noise_after: float
+    checks_performed: int
+
+    @property
+    def noise_removed(self) -> float:
+        return self.noise_before - self.noise_after
+
+
+def _perturbed_edges(
+    original: UncertainGraph, anonymized: UncertainGraph
+) -> list[tuple[int, int, float, float]]:
+    """``(u, v, p_original, p_anonymized)`` for every changed edge."""
+    base = edge_probability_map(original)
+    out = []
+    for (u, v), p_anon in edge_probability_map(anonymized).items():
+        p_orig = base.get((u, v), 0.0)
+        if p_anon != p_orig:
+            out.append((u, v, p_orig, p_anon))
+    # Edges deleted from the universe entirely (not expected from GenObf,
+    # which overlays) would be missed above; treat them as changed-to-0.
+    for (u, v), p_orig in base.items():
+        if not anonymized.has_edge(u, v) and p_orig != 0.0:
+            out.append((u, v, p_orig, 0.0))
+    return out
+
+
+def refine_anonymization(
+    original: UncertainGraph,
+    result: AnonymizationResult,
+    knowledge: np.ndarray | None = None,
+    n_batches: int = 20,
+    relevance_samples: int = 300,
+    seed=None,
+) -> tuple[AnonymizationResult, RefinementStats]:
+    """Reduce injected noise while preserving the privacy guarantee.
+
+    Parameters
+    ----------
+    original:
+        The graph that was anonymized.
+    result:
+        A successful :class:`AnonymizationResult` for it.
+    knowledge:
+        Adversary knowledge used for the privacy check; defaults to the
+        original graph's expected-degree knowledge.
+    n_batches:
+        Reversion batches (each costs one obfuscation check); more
+        batches recover more noise at finer granularity.
+    relevance_samples:
+        Worlds for the reliability-relevance ranking of reversions.
+
+    Returns the refined result (same ``k``/``epsilon``, new graph) and
+    the :class:`RefinementStats`.  Raises when ``result`` is a failure.
+    """
+    if not result.success or result.graph is None:
+        raise ObfuscationError("cannot refine a failed anonymization result")
+    if n_batches < 1:
+        raise ObfuscationError(f"n_batches must be >= 1, got {n_batches}")
+    rng = as_generator(seed)
+    if knowledge is None:
+        knowledge = expected_degree_knowledge(original)
+
+    changed = _perturbed_edges(original, result.graph)
+    if not changed:
+        stats = RefinementStats(0, 0, 0.0, 0.0, 0)
+        return result, stats
+
+    relevance = edge_reliability_relevance(
+        original, n_samples=relevance_samples, seed=rng
+    )
+
+    def priority(entry) -> float:
+        u, v, p_orig, p_anon = entry
+        err = 0.0
+        if original.has_edge(u, v):
+            err = float(relevance[original.edge_id(u, v)])
+        # Wasted utility: probability displacement scaled by how much the
+        # edge matters; added edges (no original ERR) rank by displacement.
+        return abs(p_anon - p_orig) * (1.0 + err)
+
+    changed.sort(key=priority, reverse=True)
+
+    noise_before = sum(abs(p_anon - p_orig) for __, __, p_orig, p_anon in changed)
+    current = result.graph
+    reverted = 0
+    checks = 0
+    batches = np.array_split(np.arange(len(changed)), min(n_batches, len(changed)))
+    for batch in batches:
+        if batch.size == 0:
+            continue
+        updates = [
+            (changed[i][0], changed[i][1], changed[i][2]) for i in batch
+        ]
+        candidate = overlay(current, updates)
+        report = check_obfuscation(
+            candidate, result.k, result.epsilon, knowledge=knowledge
+        )
+        checks += 1
+        if report.satisfied:
+            current = candidate
+            reverted += batch.size
+
+    final_changed = _perturbed_edges(original, current)
+    noise_after = sum(
+        abs(p_anon - p_orig) for __, __, p_orig, p_anon in final_changed
+    )
+    final_report = check_obfuscation(
+        current, result.k, result.epsilon, knowledge=knowledge
+    )
+    refined = replace(
+        result,
+        graph=current,
+        report=final_report,
+        epsilon_achieved=final_report.epsilon_achieved,
+    )
+    stats = RefinementStats(
+        edges_considered=len(changed),
+        edges_reverted=int(reverted),
+        noise_before=float(noise_before),
+        noise_after=float(noise_after),
+        checks_performed=checks,
+    )
+    return refined, stats

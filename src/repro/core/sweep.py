@@ -1,0 +1,140 @@
+"""Multi-target anonymization sweeps with shared precomputation.
+
+Parameter studies (this repo's benchmark harness, the paper's k-sweeps,
+any practitioner tuning a release) anonymize the *same* graph at many
+privacy levels.  The expensive per-graph invariants -- uniqueness scores
+and reliability relevance -- do not depend on ``k``, so a sweep that
+recomputes them per run wastes most of its time.
+
+:func:`sweep_anonymize` computes the selection context once per
+(graph, variant) and reuses it across every k, delegating the sigma
+search to the same code path as :class:`repro.core.Chameleon`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .._rng import as_generator
+from ..exceptions import ConfigurationError
+from ..privacy.degree_distribution import expected_degree_knowledge
+from ..ugraph.graph import UncertainGraph
+from ..ugraph.validation import validate_graph, validate_privacy_parameters
+from .chameleon import _SIGMA_FLOOR
+from .config import variant_config
+from .genobf import build_selection_context, gen_obf
+from .result import AnonymizationResult
+
+__all__ = ["sweep_anonymize"]
+
+
+def _search_sigma(graph, config, context, rng):
+    """Bracketing + bisection identical to Chameleon.anonymize."""
+    history: list[tuple[float, float]] = []
+    calls = 0
+
+    def run(sigma):
+        nonlocal calls
+        calls += 1
+        outcome = gen_obf(graph, config, sigma, context, seed=rng)
+        history.append((outcome.sigma, outcome.epsilon_achieved))
+        return outcome
+
+    probes = [config.sigma_initial]
+    factor = 2.0
+    while (
+        config.sigma_initial * factor <= config.sigma_max
+        or config.sigma_initial / factor >= _SIGMA_FLOOR
+    ):
+        if config.sigma_initial * factor <= config.sigma_max:
+            probes.append(config.sigma_initial * factor)
+        if config.sigma_initial / factor >= _SIGMA_FLOOR:
+            probes.append(config.sigma_initial / factor)
+        factor *= 2.0
+
+    best = None
+    sigma_high = probes[-1]
+    for sigma in probes:
+        outcome = run(sigma)
+        if outcome.success:
+            best = outcome
+            sigma_high = sigma
+            break
+    if best is None:
+        return None, sigma_high, history, calls
+
+    sigma_low = 0.0
+    while sigma_high - sigma_low > config.sigma_tolerance:
+        sigma_mid = (sigma_high + sigma_low) / 2.0
+        outcome = run(sigma_mid)
+        if outcome.success:
+            sigma_high = sigma_mid
+            best = outcome
+        else:
+            sigma_low = sigma_mid
+    return best, sigma_high, history, calls
+
+
+def sweep_anonymize(
+    graph: UncertainGraph,
+    k_values,
+    epsilon: float,
+    method: str = "rsme",
+    seed=None,
+    **config_overrides,
+) -> dict[int, AnonymizationResult]:
+    """Anonymize one graph at several privacy levels, sharing context.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    k_values:
+        Iterable of k targets (each validated against the graph).
+    epsilon:
+        Shared tolerance.
+    method:
+        Chameleon variant name.
+    config_overrides:
+        Forwarded to :func:`variant_config`.
+
+    Returns ``{k: AnonymizationResult}`` in the order given.  Uniqueness
+    and reliability relevance are computed once; note the exclusion set
+    depends only on ``epsilon``, so sharing is exact (not approximate).
+    """
+    ks = [int(k) for k in k_values]
+    if not ks:
+        raise ConfigurationError("k_values must be non-empty")
+    validate_graph(graph)
+    for k in ks:
+        validate_privacy_parameters(graph, k, epsilon)
+    rng = as_generator(seed)
+    knowledge = expected_degree_knowledge(graph)
+
+    base_config = variant_config(method, k=ks[0], epsilon=epsilon,
+                                 **config_overrides)
+    context = build_selection_context(graph, base_config, knowledge, seed=rng)
+
+    results: dict[int, AnonymizationResult] = {}
+    for k in ks:
+        config = base_config.with_privacy(k, epsilon)
+        started = time.perf_counter()
+        best, sigma_high, history, calls = _search_sigma(
+            graph, config, context, rng
+        )
+        elapsed = time.perf_counter() - started
+        if best is None:
+            results[k] = AnonymizationResult(
+                graph=None, method=config.name, k=k, epsilon=epsilon,
+                sigma=float(sigma_high), epsilon_achieved=1.0, report=None,
+                n_genobf_calls=calls, sigma_history=tuple(history),
+                elapsed_seconds=elapsed,
+            )
+        else:
+            results[k] = AnonymizationResult(
+                graph=best.graph, method=config.name, k=k, epsilon=epsilon,
+                sigma=best.sigma, epsilon_achieved=best.epsilon_achieved,
+                report=best.report, n_genobf_calls=calls,
+                sigma_history=tuple(history), elapsed_seconds=elapsed,
+            )
+    return results

@@ -1,0 +1,48 @@
+"""Dataset loading front door: profiles or real files, one call.
+
+``load_dataset("ppi")`` generates the synthetic stand-in;
+``load_dataset("/data/ppi.pel")`` parses a real probabilistic edge list.
+This lets examples, benches, and the CLI treat both worlds uniformly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..exceptions import ConfigurationError
+from ..ugraph.graph import UncertainGraph
+from ..ugraph.io import read_edge_list
+from .profiles import PROFILES, load_profile
+
+__all__ = ["load_dataset", "dataset_tolerance"]
+
+
+def load_dataset(
+    source: str, scale: float = 1.0, seed=None
+) -> UncertainGraph:
+    """Load an uncertain graph from a profile name or a file path.
+
+    Parameters
+    ----------
+    source:
+        A profile key (``"dblp"``, ``"brightkite"``, ``"ppi"``) or a path
+        to a probabilistic edge-list file.
+    scale, seed:
+        Forwarded to the profile generator; ignored for files.
+    """
+    key = source.lower()
+    if key in PROFILES:
+        return load_profile(key, scale=scale, seed=seed)
+    path = Path(source)
+    if path.exists():
+        return read_edge_list(path)
+    raise ConfigurationError(
+        f"{source!r} is neither a known profile ({sorted(PROFILES)}) "
+        "nor an existing file"
+    )
+
+
+def dataset_tolerance(source: str, default: float = 0.02) -> float:
+    """Default epsilon for a dataset source (profile tolerance or fallback)."""
+    profile = PROFILES.get(source.lower())
+    return profile.tolerance if profile is not None else default

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` from misuse of the Python
+API, ``KeyboardInterrupt``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when an uncertain graph cannot be built from the given input.
+
+    Typical causes: a probability outside ``[0, 1]``, a self-loop, a
+    duplicate edge, or an endpoint that is not a known vertex.
+    """
+
+
+class InvalidProbabilityError(GraphConstructionError):
+    """Raised when an edge probability is not a finite number in ``[0, 1]``."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when an on-disk graph file cannot be parsed."""
+
+
+class EstimationError(ReproError):
+    """Raised when a Monte-Carlo estimator cannot produce an estimate.
+
+    For example, requesting two-terminal reliability for a vertex that does
+    not exist, or asking for an exact computation on a graph that is too
+    large to enumerate.
+    """
+
+
+class ObfuscationError(ReproError):
+    """Raised when an anonymization run cannot be performed at all.
+
+    Note that *failing to find* a ``(k, epsilon)``-obfuscation at a given
+    noise level is a normal outcome reported through return values, not an
+    exception; this error signals invalid parameters or an impossible
+    configuration (e.g. ``k`` larger than the number of vertices).
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm configuration is internally inconsistent."""

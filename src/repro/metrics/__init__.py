@@ -1,0 +1,84 @@
+"""Graph metrics for utility-preservation evaluation (Section VI).
+
+Degree group, node-separation group (ANF-based), clustering group, and
+the reliability utility-loss metric, plus :func:`compare_graphs` which
+bundles them into the per-figure relative-error rows.
+"""
+
+from .community import (
+    community_probability_profile,
+    expected_modularity,
+    modularity_preservation_error,
+)
+from .components import (
+    expected_component_count,
+    isolation_probabilities,
+    largest_component_statistics,
+)
+from .degree_sequence import (
+    degree_sequence_distance,
+    expected_degree_sequence,
+    k_degree_anonymity,
+)
+from .spectral import (
+    expected_adjacency_spectrum,
+    expected_laplacian_spectrum,
+    spectral_distance,
+)
+from .clustering import (
+    expected_clustering_coefficient,
+    expected_triangle_count,
+    local_clustering_from_edges,
+    sampled_triangle_count,
+)
+from .degree import (
+    degree_distribution_l1_error,
+    expected_average_degree,
+    expected_degree_histogram,
+    expected_max_degree,
+    sampled_degree_matrix,
+)
+from .distance import average_distance, distance_statistics, effective_diameter
+from .reliability_metrics import (
+    average_reliability_discrepancy,
+    expected_reliability,
+)
+from .suite import (
+    DEFAULT_METRICS,
+    EXTENDED_METRICS,
+    MetricComparison,
+    compare_graphs,
+)
+
+__all__ = [
+    "expected_average_degree",
+    "expected_degree_histogram",
+    "expected_max_degree",
+    "sampled_degree_matrix",
+    "degree_distribution_l1_error",
+    "average_distance",
+    "effective_diameter",
+    "distance_statistics",
+    "expected_clustering_coefficient",
+    "expected_triangle_count",
+    "sampled_triangle_count",
+    "local_clustering_from_edges",
+    "average_reliability_discrepancy",
+    "expected_reliability",
+    "MetricComparison",
+    "compare_graphs",
+    "DEFAULT_METRICS",
+    "EXTENDED_METRICS",
+    "isolation_probabilities",
+    "expected_modularity",
+    "community_probability_profile",
+    "modularity_preservation_error",
+    "expected_component_count",
+    "largest_component_statistics",
+    "expected_degree_sequence",
+    "k_degree_anonymity",
+    "degree_sequence_distance",
+    "expected_adjacency_spectrum",
+    "expected_laplacian_spectrum",
+    "spectral_distance",
+]

@@ -1,0 +1,99 @@
+"""Node-separation metrics (second metric group, Section VI-A).
+
+Average distance and (effective) diameter of an uncertain graph are
+expectations over possible worlds; each sampled world is summarized with
+the ANF estimator (:mod:`repro.anf`) or an exact BFS oracle, and the
+per-world statistics are averaged.  Worlds with no connected pairs
+contribute nothing to the distance average (distance is conditioned on
+connectedness, as is standard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_generator
+from ..anf.neighborhood import (
+    DistanceStatistics,
+    bfs_neighborhood_profile,
+    distance_statistics_from_profile,
+    neighborhood_profile,
+)
+from ..exceptions import EstimationError
+from ..ugraph.graph import UncertainGraph
+from ..ugraph.worlds import WorldSampler
+
+__all__ = [
+    "distance_statistics",
+    "average_distance",
+    "effective_diameter",
+]
+
+
+def distance_statistics(
+    graph: UncertainGraph,
+    n_samples: int = 100,
+    method: str = "anf",
+    n_sketches: int = 8,
+    seed=None,
+) -> DistanceStatistics:
+    """Expected distance statistics over sampled possible worlds.
+
+    Parameters
+    ----------
+    method:
+        ``"anf"`` (sketch estimate, scales to large worlds) or ``"bfs"``
+        (exact per world, quadratic -- for small graphs and validation).
+    """
+    if method not in ("anf", "bfs"):
+        raise EstimationError(f"unknown distance method {method!r}")
+    rng = as_generator(seed)
+    sampler = WorldSampler(graph, seed=rng)
+    averages: list[float] = []
+    effectives: list[float] = []
+    diameters: list[int] = []
+    for src, dst in sampler.iter_worlds(n_samples):
+        if method == "anf":
+            profile = neighborhood_profile(
+                graph.n_nodes, src, dst, n_sketches=n_sketches, seed=rng
+            )
+        else:
+            profile = bfs_neighborhood_profile(graph.n_nodes, src, dst)
+        stats = distance_statistics_from_profile(profile)
+        if np.isfinite(stats.average_distance):
+            averages.append(stats.average_distance)
+            effectives.append(stats.effective_diameter)
+            diameters.append(stats.diameter)
+    if not averages:
+        return DistanceStatistics(
+            average_distance=float("nan"), effective_diameter=0.0, diameter=0
+        )
+    return DistanceStatistics(
+        average_distance=float(np.mean(averages)),
+        effective_diameter=float(np.mean(effectives)),
+        diameter=int(round(float(np.mean(diameters)))),
+    )
+
+
+def average_distance(
+    graph: UncertainGraph,
+    n_samples: int = 100,
+    method: str = "anf",
+    seed=None,
+) -> float:
+    """Expected average shortest-path distance over connected pairs."""
+    return distance_statistics(
+        graph, n_samples=n_samples, method=method, seed=seed
+    ).average_distance
+
+
+def effective_diameter(
+    graph: UncertainGraph,
+    n_samples: int = 100,
+    method: str = "anf",
+    seed=None,
+) -> float:
+    """Expected 90th-percentile (effective) diameter."""
+    return distance_statistics(
+        graph, n_samples=n_samples, method=method, seed=seed
+    ).effective_diameter

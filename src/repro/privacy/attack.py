@@ -1,0 +1,119 @@
+"""Degree-based re-identification attack simulation.
+
+The paper's threat model (Section III-C) is *identity disclosure*: an
+adversary who knows a target's degree tries to locate the target among
+the published vertices.  Against an uncertain published graph the
+Bayesian adversary forms the posterior ``Y_w(u) ~ Pr[deg(u) = w]`` over
+candidate vertices and guesses accordingly.
+
+This module turns that adversary into measurable numbers, used by the
+examples and by tests that verify anonymization *actually* reduces attack
+success (not merely satisfies the syntactic criterion):
+
+* :func:`reidentification_posterior` -- the full posterior matrix row per
+  attacked vertex.
+* :func:`attack_success_probabilities` -- per-vertex probability that a
+  posterior-proportional guess hits the true vertex.
+* :func:`expected_reidentification_rate` -- the population average, i.e.
+  the expected fraction of users an adversary re-identifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ObfuscationError
+from ..ugraph.graph import UncertainGraph
+from .degree_distribution import degree_uncertainty_matrix, expected_degree_knowledge
+
+__all__ = [
+    "reidentification_posterior",
+    "attack_success_probabilities",
+    "expected_reidentification_rate",
+    "top_candidate_hit_rate",
+]
+
+
+def _posterior_columns(
+    published: UncertainGraph, knowledge: np.ndarray
+) -> np.ndarray:
+    """Matrix whose row ``i`` is the adversary posterior for vertex ``i``.
+
+    Row ``i`` is the normalized column ``knowledge[i]`` of the published
+    graph's degree-uncertainty matrix; an all-zero column (impossible
+    degree) yields a zero row -- the adversary has no candidates at all.
+    """
+    knowledge = np.asarray(knowledge, dtype=np.int64)
+    if knowledge.shape != (published.n_nodes,):
+        raise ObfuscationError(
+            f"knowledge has shape {knowledge.shape}, expected ({published.n_nodes},)"
+        )
+    matrix = degree_uncertainty_matrix(published)
+    width = matrix.shape[1]
+    posterior = np.zeros((published.n_nodes, published.n_nodes), dtype=np.float64)
+    for i, w in enumerate(knowledge.tolist()):
+        if w >= width:
+            continue
+        column = matrix[:, w]
+        mass = column.sum()
+        if mass > 0:
+            posterior[i] = column / mass
+    return posterior
+
+
+def reidentification_posterior(
+    published: UncertainGraph, knowledge: np.ndarray | None = None
+) -> np.ndarray:
+    """Adversary posterior ``P[target = u | P(v)]`` for every vertex ``v``.
+
+    ``knowledge`` defaults to degrees extracted from the published graph
+    itself; pass the original graph's knowledge when evaluating an
+    anonymization (the adversary observed the original degrees).
+    """
+    if knowledge is None:
+        knowledge = expected_degree_knowledge(published)
+    return _posterior_columns(published, knowledge)
+
+
+def attack_success_probabilities(
+    published: UncertainGraph, knowledge: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-vertex success of a posterior-proportional guess.
+
+    For vertex ``v`` this is ``Y_{P(v)}(v)`` -- the posterior mass the
+    adversary places on the true vertex.  This equals the probability of a
+    correct guess when the adversary samples a candidate from the
+    posterior, and it is exactly the "a posteriori belief" quantity that
+    local syntactic models bound.
+    """
+    posterior = reidentification_posterior(published, knowledge)
+    return np.diagonal(posterior).copy()
+
+
+def expected_reidentification_rate(
+    published: UncertainGraph, knowledge: np.ndarray | None = None
+) -> float:
+    """Expected fraction of vertices a Bayesian degree adversary locates."""
+    return float(attack_success_probabilities(published, knowledge).mean())
+
+
+def top_candidate_hit_rate(
+    published: UncertainGraph, knowledge: np.ndarray | None = None
+) -> float:
+    """Fraction of vertices where the *argmax* candidate is the true one.
+
+    A stronger (maximum-a-posteriori) adversary; ties are resolved
+    pessimistically by splitting the hit uniformly among tied candidates.
+    """
+    posterior = reidentification_posterior(published, knowledge)
+    n = posterior.shape[0]
+    hits = 0.0
+    for v in range(n):
+        row = posterior[v]
+        top = row.max()
+        if top <= 0.0:
+            continue
+        ties = np.flatnonzero(row >= top - 1e-15)
+        if v in ties:
+            hits += 1.0 / ties.size
+    return hits / n if n else 0.0

@@ -1,0 +1,136 @@
+"""Privacy erosion under sequential releases.
+
+Syntactic guarantees are per-release: if the same underlying graph is
+published twice (a refreshed dataset, two anonymization runs handed to
+different partners), an adversary holding both releases multiplies the
+evidence.  For the degree attack model the composed posterior over
+candidate vertices is
+
+    Y(u)  ~  prod_r  Pr[ deg_r(u) = P(v) ]
+
+across releases ``r`` -- independent noise draws make the per-release
+degree distributions conditionally independent given the identity.
+
+This module quantifies that erosion so publishers can budget releases:
+
+* :func:`composed_posterior` -- the multi-release candidate posterior.
+* :func:`composed_attack_success` / :func:`composed_entropy` -- the
+  operational and entropic privacy levels after composition.
+* :func:`composition_report` -- per-release trajectory of both.
+
+The headline fact (verified in tests): privacy only degrades --
+composed entropy is no higher than any single release's, and attack
+success never drops as releases accumulate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ObfuscationError
+from ..ugraph.graph import UncertainGraph
+from .degree_distribution import degree_uncertainty_matrix
+from .entropy import shannon_entropy
+
+__all__ = [
+    "composed_posterior",
+    "composed_attack_success",
+    "composed_entropy",
+    "composition_report",
+]
+
+
+def _posterior_matrix(
+    releases: Sequence[UncertainGraph], knowledge: np.ndarray
+) -> np.ndarray:
+    """Row ``v`` = composed posterior over candidates for target ``v``."""
+    if not releases:
+        raise ObfuscationError("need at least one release")
+    n = releases[0].n_nodes
+    knowledge = np.asarray(knowledge, dtype=np.int64)
+    if knowledge.shape != (n,):
+        raise ObfuscationError(
+            f"knowledge has shape {knowledge.shape}, expected ({n},)"
+        )
+    for release in releases:
+        if release.n_nodes != n:
+            raise ObfuscationError("releases must share the vertex set")
+
+    matrices = [degree_uncertainty_matrix(r) for r in releases]
+    posterior = np.ones((n, n), dtype=np.float64)
+    for matrix in matrices:
+        width = matrix.shape[1]
+        for v in range(n):
+            w = int(knowledge[v])
+            column = matrix[:, w] if w < width else np.zeros(n)
+            posterior[v] *= column
+    sums = posterior.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore"):
+        normalized = np.where(sums > 0, posterior / np.where(sums > 0, sums, 1.0), 0.0)
+    return normalized
+
+
+def composed_posterior(
+    releases: Sequence[UncertainGraph], knowledge: np.ndarray
+) -> np.ndarray:
+    """Multi-release adversary posterior; rows are attacked vertices.
+
+    A zero row means the adversary's knowledge value is impossible under
+    some release (empty candidate set).
+    """
+    return _posterior_matrix(releases, knowledge)
+
+
+def composed_attack_success(
+    releases: Sequence[UncertainGraph], knowledge: np.ndarray
+) -> np.ndarray:
+    """Per-vertex probability the composed adversary guesses correctly."""
+    posterior = _posterior_matrix(releases, knowledge)
+    return np.diagonal(posterior).copy()
+
+
+def composed_entropy(
+    releases: Sequence[UncertainGraph], knowledge: np.ndarray
+) -> np.ndarray:
+    """Per-vertex obfuscation entropy (bits) of the composed posterior.
+
+    Zero-support rows (impossible knowledge) get ``+inf``, consistent
+    with the single-release checker.
+    """
+    posterior = _posterior_matrix(releases, knowledge)
+    out = np.empty(posterior.shape[0])
+    for v in range(posterior.shape[0]):
+        row = posterior[v]
+        out[v] = np.inf if row.sum() <= 0 else shannon_entropy(row)
+    return out
+
+
+def composition_report(
+    releases: Sequence[UncertainGraph],
+    knowledge: np.ndarray,
+    k: int,
+) -> list[dict]:
+    """Privacy trajectory as releases accumulate.
+
+    Entry ``i`` describes the adversary who has seen releases
+    ``0 .. i``: mean attack success, mean entropy, and the fraction of
+    vertices still k-obfuscated (entropy >= log2 k).
+    """
+    if k < 1:
+        raise ObfuscationError(f"k must be >= 1, got {k}")
+    rows: list[dict] = []
+    threshold = np.log2(k)
+    for i in range(1, len(releases) + 1):
+        subset = releases[:i]
+        success = composed_attack_success(subset, knowledge)
+        entropies = composed_entropy(subset, knowledge)
+        finite = entropies[np.isfinite(entropies)]
+        rows.append({
+            "releases": i,
+            "mean_attack_success": float(success.mean()),
+            "mean_entropy_bits": float(finite.mean()) if finite.size else float("inf"),
+            "fraction_k_obfuscated": float((entropies >= threshold).mean()),
+        })
+    return rows

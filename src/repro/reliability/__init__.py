@@ -1,0 +1,81 @@
+"""Reliability machinery: connectivity under possible-world semantics.
+
+* :class:`ReliabilityEstimator` -- shared-sample Monte-Carlo estimates of
+  two-terminal reliability, expected connected pairs, and the full
+  pairwise reliability matrix.
+* :func:`reliability_discrepancy` -- the paper's utility-loss metric
+  (Definition 2).
+* :func:`edge_reliability_relevance` / :func:`vertex_reliability_relevance`
+  -- Algorithm 2 and its aggregation (Section V-D).
+* :mod:`repro.reliability.exact` -- enumeration oracle for small graphs.
+"""
+
+from .connectivity import (
+    batch_component_labels,
+    batch_pair_counts,
+    pair_counts_from_labels,
+    world_component_labels,
+)
+from .estimator import (
+    ReliabilityEstimator,
+    reliability_discrepancy,
+    sample_vertex_pairs,
+)
+from .exact import (
+    enumerate_worlds,
+    exact_edge_reliability_relevance,
+    exact_expected_connected_pairs,
+    exact_pairwise_reliability,
+    exact_reliability_discrepancy,
+    exact_two_terminal,
+)
+from .relevance import (
+    RelevanceResult,
+    compute_relevance,
+    edge_reliability_relevance,
+    vertex_reliability_relevance,
+)
+from .bounds import (
+    reliability_bounds,
+    reliability_lower_bound,
+    reliability_upper_bound,
+)
+from .queries import (
+    expected_reachable_set_size,
+    most_reliable_pairs,
+    reliability_histogram,
+    reliable_knn,
+    set_reliability,
+)
+from .union_find import UnionFind, component_labels, connected_pair_count
+
+__all__ = [
+    "UnionFind",
+    "component_labels",
+    "connected_pair_count",
+    "world_component_labels",
+    "batch_component_labels",
+    "batch_pair_counts",
+    "pair_counts_from_labels",
+    "ReliabilityEstimator",
+    "reliability_discrepancy",
+    "sample_vertex_pairs",
+    "enumerate_worlds",
+    "exact_two_terminal",
+    "exact_pairwise_reliability",
+    "exact_expected_connected_pairs",
+    "exact_reliability_discrepancy",
+    "exact_edge_reliability_relevance",
+    "RelevanceResult",
+    "compute_relevance",
+    "edge_reliability_relevance",
+    "vertex_reliability_relevance",
+    "reliable_knn",
+    "set_reliability",
+    "expected_reachable_set_size",
+    "reliability_histogram",
+    "most_reliable_pairs",
+    "reliability_bounds",
+    "reliability_lower_bound",
+    "reliability_upper_bound",
+]

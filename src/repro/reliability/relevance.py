@@ -1,0 +1,203 @@
+"""Reliability relevance of edges and vertices (Section V-D, Algorithm 2).
+
+The **edge reliability relevance** ``ERR(e)`` measures how much the
+graph-wide reliability moves per unit change of ``p(e)``.  By the
+factorization lemma it equals the difference in expected connected-pair
+counts between the graph with ``e`` forced present and forced absent --
+always non-negative, and large exactly for "probabilistic bridges".
+
+Two shared-sample estimators are provided, both reusing a single batch of
+possible worlds for *all* edges (the reuse that brings the cost from
+``O(|E| * N * alpha * |E|)`` down to ``O(N * alpha * |E|)``, Lemma 3):
+
+* ``"grouped"`` -- Algorithm 2 verbatim: split the sampled worlds by the
+  edge's realized presence and difference the group means of the
+  connected-pair count.
+* ``"merge-gain"`` -- a Rao-Blackwellized variant: over worlds where the
+  edge is absent, the exact pair-count gain of adding it is the product of
+  its endpoints' component sizes; averaging that gain estimates ``ERR``
+  with strictly lower variance.
+
+Edges whose sampled presence is degenerate (all worlds on one side) fall
+back to a direct forced-absent resampling so the estimate stays defined.
+
+The **vertex reliability relevance** ``VRR(u) = sum_{e in E(u)}
+p(e) * ERR(e)`` aggregates edge relevance to vertices and is the
+utility-oriented signal GenObf uses to steer noise away from structurally
+critical regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rng import as_generator
+from ..exceptions import EstimationError
+from ..ugraph.graph import UncertainGraph
+from ..ugraph.worlds import sample_edge_masks
+from .connectivity import batch_component_labels, pair_counts_from_labels
+
+__all__ = [
+    "RelevanceResult",
+    "edge_reliability_relevance",
+    "vertex_reliability_relevance",
+    "compute_relevance",
+]
+
+
+@dataclass(frozen=True)
+class RelevanceResult:
+    """Edge- and vertex-level reliability relevance of one graph."""
+
+    edge_relevance: np.ndarray
+    vertex_relevance: np.ndarray
+    n_samples: int
+    method: str
+
+    def normalized_vertex_relevance(self) -> np.ndarray:
+        """Vertex relevance rescaled to ``[0, 1]`` (max-normalized).
+
+        GenObf combines this with uniqueness; an all-zero relevance vector
+        (edgeless or fully disconnected graph) normalizes to zeros.
+        """
+        top = self.vertex_relevance.max(initial=0.0)
+        if top <= 0.0:
+            return np.zeros_like(self.vertex_relevance)
+        return self.vertex_relevance / top
+
+
+def _merge_gain_accumulate(
+    graph: UncertainGraph, masks: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum of add-edge pair-count gains over worlds where each edge is absent.
+
+    Returns ``(gain_sums, absent_counts)`` indexed by edge.
+    """
+    n_samples = masks.shape[0]
+    src, dst = graph.edge_src, graph.edge_dst
+    gain_sums = np.zeros(graph.n_edges, dtype=np.float64)
+    absent_counts = np.zeros(graph.n_edges, dtype=np.int64)
+    for i in range(n_samples):
+        row = labels[i]
+        sizes = np.bincount(row)
+        lu, lv = row[src], row[dst]
+        gains = np.where(lu != lv, sizes[lu].astype(np.float64) * sizes[lv], 0.0)
+        absent = ~masks[i]
+        gain_sums[absent] += gains[absent]
+        absent_counts += absent
+    return gain_sums, absent_counts
+
+
+def _forced_absent_err(
+    graph: UncertainGraph, edge: int, n_samples: int, rng
+) -> float:
+    """Direct ``ERR`` estimate for one edge by forcing it absent.
+
+    Samples dedicated worlds of ``G_ebar`` and averages the component-size
+    product gain of adding the edge back.  Used only for edges whose
+    shared-sample groups are degenerate (p very close to 0 or 1).
+    """
+    probabilities = graph.edge_probabilities.copy()
+    probabilities[edge] = 0.0
+    forced = graph.with_probabilities(probabilities)
+    masks = sample_edge_masks(forced, n_samples, seed=rng)
+    labels = batch_component_labels(forced, masks)
+    u = int(graph.edge_src[edge])
+    v = int(graph.edge_dst[edge])
+    total = 0.0
+    for i in range(n_samples):
+        row = labels[i]
+        if row[u] != row[v]:
+            sizes = np.bincount(row)
+            total += float(sizes[row[u]]) * float(sizes[row[v]])
+    return total / n_samples
+
+
+def edge_reliability_relevance(
+    graph: UncertainGraph,
+    n_samples: int = 1000,
+    seed=None,
+    method: str = "merge-gain",
+    backend: str = "scipy",
+) -> np.ndarray:
+    """Estimate ``ERR(e)`` for every edge with shared sampled worlds.
+
+    Parameters
+    ----------
+    method:
+        ``"grouped"`` (Algorithm 2 as published) or ``"merge-gain"``
+        (lower-variance default; see module docstring).
+
+    Returns the ``(|E|,)`` non-negative relevance vector aligned with the
+    graph's dense edge indexing.
+    """
+    if graph.n_edges == 0:
+        return np.zeros(0, dtype=np.float64)
+    if method not in ("grouped", "merge-gain"):
+        raise EstimationError(f"unknown relevance method {method!r}")
+    rng = as_generator(seed)
+    masks = sample_edge_masks(graph, n_samples, seed=rng)
+    labels = batch_component_labels(graph, masks, backend=backend)
+
+    present_counts = masks.sum(axis=0)
+    absent_counts = n_samples - present_counts
+
+    if method == "grouped":
+        pair_counts = pair_counts_from_labels(labels)
+        present_sums = pair_counts @ masks
+        total = pair_counts.sum()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean_present = present_sums / present_counts
+            mean_absent = (total - present_sums) / absent_counts
+        err = mean_present - mean_absent
+        degenerate = (present_counts == 0) | (absent_counts == 0)
+    else:
+        gain_sums, gain_counts = _merge_gain_accumulate(graph, masks, labels)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            err = gain_sums / gain_counts
+        degenerate = gain_counts == 0
+
+    for e in np.flatnonzero(degenerate):
+        err[e] = _forced_absent_err(graph, int(e), n_samples, rng)
+
+    # ERR is provably non-negative; clip residual sampling noise.
+    return np.clip(np.nan_to_num(err, nan=0.0), 0.0, None)
+
+
+def vertex_reliability_relevance(
+    graph: UncertainGraph, edge_relevance: np.ndarray
+) -> np.ndarray:
+    """Aggregate edge relevance to vertices: ``VRR(u) = sum p(e) ERR(e)``."""
+    edge_relevance = np.asarray(edge_relevance, dtype=np.float64)
+    if edge_relevance.shape != (graph.n_edges,):
+        raise EstimationError(
+            f"edge_relevance has shape {edge_relevance.shape}, "
+            f"expected ({graph.n_edges},)"
+        )
+    weighted = graph.edge_probabilities * edge_relevance
+    vrr = np.zeros(graph.n_nodes, dtype=np.float64)
+    np.add.at(vrr, graph.edge_src, weighted)
+    np.add.at(vrr, graph.edge_dst, weighted)
+    return vrr
+
+
+def compute_relevance(
+    graph: UncertainGraph,
+    n_samples: int = 1000,
+    seed=None,
+    method: str = "merge-gain",
+    backend: str = "scipy",
+) -> RelevanceResult:
+    """One-call edge + vertex relevance computation."""
+    err = edge_reliability_relevance(
+        graph, n_samples=n_samples, seed=seed, method=method, backend=backend
+    )
+    vrr = vertex_reliability_relevance(graph, err)
+    return RelevanceResult(
+        edge_relevance=err,
+        vertex_relevance=vrr,
+        n_samples=n_samples,
+        method=method,
+    )

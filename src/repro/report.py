@@ -1,0 +1,137 @@
+"""Human-readable anonymization reports.
+
+:func:`build_report` bundles everything a data-release review board asks
+for into one Markdown document: the privacy guarantee actually achieved,
+the simulated re-identification risk before and after, the utility cost
+across the paper's metric groups, and the run parameters -- computed
+fresh from the two graphs, so the report cannot drift from the data.
+
+Exposed on the CLI as ``chameleon report``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._rng import as_generator
+from .core.result import AnonymizationResult
+from .metrics import compare_graphs
+from .privacy import (
+    check_obfuscation,
+    expected_degree_knowledge,
+    expected_reidentification_rate,
+)
+from .ugraph.graph import UncertainGraph
+from .ugraph.operations import probability_l1_distance
+
+__all__ = ["build_report"]
+
+
+def _format_row(cells, widths):
+    return "| " + " | ".join(str(c).ljust(w) for c, w in zip(cells, widths)) + " |"
+
+
+def build_report(
+    original: UncertainGraph,
+    anonymized: UncertainGraph,
+    k: int,
+    epsilon: float,
+    result: AnonymizationResult | None = None,
+    n_samples: int = 200,
+    seed=None,
+) -> str:
+    """Produce a Markdown release report for an anonymized graph.
+
+    Parameters
+    ----------
+    original, anonymized:
+        The pre- and post-anonymization graphs.
+    k, epsilon:
+        The privacy target the release claims.
+    result:
+        The :class:`AnonymizationResult`, when available, for run
+        parameters (method, sigma, search effort).
+    n_samples:
+        Monte-Carlo budget for the utility metrics.
+    """
+    rng = as_generator(seed)
+    knowledge = expected_degree_knowledge(original)
+    report = check_obfuscation(anonymized, k, epsilon, knowledge=knowledge)
+    risk_before = expected_reidentification_rate(original, knowledge)
+    risk_after = expected_reidentification_rate(anonymized, knowledge)
+    noise = probability_l1_distance(original, anonymized)
+    comparison = compare_graphs(
+        original, anonymized, n_samples=n_samples, seed=rng
+    )
+
+    lines: list[str] = []
+    lines.append("# Uncertain-graph anonymization report")
+    lines.append("")
+    lines.append("## Release summary")
+    lines.append("")
+    lines.append(f"- vertices: {original.n_nodes}")
+    lines.append(
+        f"- edges: {original.n_edges} original / "
+        f"{anonymized.dropping_zero_edges().n_edges} published"
+    )
+    lines.append(f"- privacy target: ({k}, {epsilon})-obfuscation")
+    verdict = "SATISFIED" if report.satisfied else "NOT SATISFIED"
+    lines.append(f"- guarantee: **{verdict}** "
+                 f"(achieved tolerance {report.epsilon_achieved:.4f}, "
+                 f"{report.n_obfuscated}/{original.n_nodes} vertices blended)")
+    if result is not None:
+        lines.append(
+            f"- method: {result.method}, noise level sigma = "
+            f"{result.sigma:.4f}, {result.n_genobf_calls} GenObf calls, "
+            f"{result.elapsed_seconds:.1f}s"
+        )
+    lines.append(f"- total probability perturbation (L1): {noise:.2f}")
+    lines.append("")
+
+    lines.append("## Re-identification risk (degree adversary)")
+    lines.append("")
+    lines.append(f"- raw release: {risk_before:.2%} of users re-identified "
+                 "in expectation")
+    lines.append(f"- this release: {risk_after:.2%}")
+    lines.append("")
+
+    lines.append("## Utility preservation")
+    lines.append("")
+    headers = ["metric", "original", "anonymized", "relative error"]
+    rows = [
+        [
+            name,
+            f"{row.original:.4f}",
+            f"{row.anonymized:.4f}",
+            f"{row.relative_error:.2%}" if np.isfinite(row.relative_error)
+            else "n/a",
+        ]
+        for name, row in comparison.items()
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines.append(_format_row(headers, widths))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in rows:
+        lines.append(_format_row(row, widths))
+    lines.append("")
+    lines.append(
+        "_Note: for the `reliability` row, the error column is the "
+        "average per-pair reliability discrepancy (Definition 2 of the "
+        "paper), not a ratio._"
+    )
+    lines.append("")
+    worst = report.worst_vertices(5)
+    lines.append("## Least-protected vertices")
+    lines.append("")
+    for v in worst:
+        entropy = report.entropies[v]
+        shown = "inf" if np.isinf(entropy) else f"{entropy:.2f}"
+        lines.append(
+            f"- vertex {int(v)}: obfuscation entropy {shown} bits "
+            f"(threshold {np.log2(k):.2f})"
+        )
+    lines.append("")
+    return "\n".join(lines)

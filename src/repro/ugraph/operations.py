@@ -1,0 +1,135 @@
+"""Structural operations on uncertain graphs.
+
+These are utilities the anonymization pipeline and the evaluation harness
+need around the core type: induced subgraphs, vertex relabeling, merging
+edge sets, and distance between two graphs over the same vertex set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import GraphConstructionError
+from .graph import UncertainGraph
+
+__all__ = [
+    "induced_subgraph",
+    "relabel",
+    "overlay",
+    "probability_l1_distance",
+    "edge_probability_map",
+    "align_edge_universe",
+]
+
+
+def induced_subgraph(graph: UncertainGraph, vertices: Iterable[int]) -> UncertainGraph:
+    """Subgraph induced by ``vertices`` with vertices renumbered densely.
+
+    Vertex ``i`` of the result corresponds to the ``i``-th vertex of the
+    (deduplicated, order-preserving) ``vertices`` sequence.
+    """
+    keep: list[int] = []
+    seen: set[int] = set()
+    for v in vertices:
+        v = int(v)
+        if v in seen:
+            continue
+        if not 0 <= v < graph.n_nodes:
+            raise GraphConstructionError(f"vertex {v} not in graph")
+        seen.add(v)
+        keep.append(v)
+    position = {v: i for i, v in enumerate(keep)}
+    triples = [
+        (position[u], position[v], p)
+        for u, v, p in (e.as_tuple() for e in graph.edges())
+        if u in position and v in position
+    ]
+    labels = graph.labels
+    sub_labels = [labels[v] for v in keep] if labels else None
+    return UncertainGraph(len(keep), triples, labels=sub_labels)
+
+
+def relabel(graph: UncertainGraph, permutation: Sequence[int]) -> UncertainGraph:
+    """Apply a vertex permutation: vertex ``v`` becomes ``permutation[v]``.
+
+    Used to publish anonymized graphs without positional correlation to the
+    original vertex ordering.
+    """
+    perm = np.asarray(permutation, dtype=np.int64)
+    if perm.shape != (graph.n_nodes,) or sorted(perm.tolist()) != list(
+        range(graph.n_nodes)
+    ):
+        raise GraphConstructionError("permutation must be a bijection on 0..n-1")
+    triples = [
+        (int(perm[u]), int(perm[v]), p)
+        for u, v, p in (e.as_tuple() for e in graph.edges())
+    ]
+    labels = graph.labels
+    new_labels = None
+    if labels:
+        new_labels = [""] * graph.n_nodes
+        for v, lab in enumerate(labels):
+            new_labels[int(perm[v])] = lab
+    return UncertainGraph(graph.n_nodes, triples, labels=new_labels)
+
+
+def edge_probability_map(graph: UncertainGraph) -> dict[tuple[int, int], float]:
+    """Canonical ``(u, v) -> p`` dict over stored edges."""
+    return {
+        (u, v): p for u, v, p in (e.as_tuple() for e in graph.edges())
+    }
+
+
+def overlay(
+    base: UncertainGraph, updates: Iterable[tuple[int, int, float]]
+) -> UncertainGraph:
+    """New graph where ``updates`` overwrite/add edge probabilities.
+
+    Edges not mentioned keep their probability.  An update with ``p == 0``
+    keeps the edge in the universe at probability zero (use
+    :meth:`UncertainGraph.dropping_zero_edges` to strip before release).
+    """
+    merged = edge_probability_map(base)
+    for u, v, p in updates:
+        key = (u, v) if u < v else (v, u)
+        merged[key] = float(p)
+    triples = [(u, v, p) for (u, v), p in merged.items()]
+    return UncertainGraph(base.n_nodes, triples, labels=base.labels)
+
+
+def align_edge_universe(
+    a: UncertainGraph, b: UncertainGraph
+) -> tuple[UncertainGraph, UncertainGraph]:
+    """Rebuild ``a`` and ``b`` over the union of their edge sets.
+
+    Both outputs index edges identically, with probability 0 for edges the
+    graph lacked.  Needed when comparing an original graph to an anonymized
+    one that introduced new probabilistic edges.
+    """
+    if a.n_nodes != b.n_nodes:
+        raise GraphConstructionError(
+            f"vertex sets differ: {a.n_nodes} vs {b.n_nodes}"
+        )
+    map_a = edge_probability_map(a)
+    map_b = edge_probability_map(b)
+    universe = sorted(set(map_a) | set(map_b))
+    triples_a = [(u, v, map_a.get((u, v), 0.0)) for u, v in universe]
+    triples_b = [(u, v, map_b.get((u, v), 0.0)) for u, v in universe]
+    return (
+        UncertainGraph(a.n_nodes, triples_a, labels=a.labels),
+        UncertainGraph(b.n_nodes, triples_b, labels=b.labels),
+    )
+
+
+def probability_l1_distance(a: UncertainGraph, b: UncertainGraph) -> float:
+    """Total absolute probability change between two graphs.
+
+    This is the "amount of noise" measure: the L1 distance between the two
+    edge-probability functions over the union of edge universes.
+    """
+    aligned_a, aligned_b = align_edge_universe(a, b)
+    return float(
+        np.abs(aligned_a.edge_probabilities - aligned_b.edge_probabilities).sum()
+    )

@@ -1,0 +1,63 @@
+"""Validation helpers for uncertain graphs and anonymization inputs.
+
+The constructors already enforce structural invariants; these functions
+add the *semantic* checks an anonymization pipeline wants before spending
+compute: probability sanity, connectivity expectations, and parameter
+validation shared by the Chameleon and Rep-An entry points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ObfuscationError
+from .graph import UncertainGraph
+
+__all__ = ["validate_graph", "validate_privacy_parameters", "summarize"]
+
+
+def validate_graph(graph: UncertainGraph, require_edges: bool = True) -> None:
+    """Raise if ``graph`` is unsuitable as anonymization input."""
+    if graph.n_nodes < 2:
+        raise ObfuscationError(
+            f"graph has {graph.n_nodes} vertices; anonymization needs at least 2"
+        )
+    if require_edges and graph.n_edges == 0:
+        raise ObfuscationError("graph has no edges; nothing to anonymize")
+    p = graph.edge_probabilities
+    if p.size and (not np.all(np.isfinite(p)) or p.min() < 0 or p.max() > 1):
+        raise ObfuscationError("graph contains invalid edge probabilities")
+
+
+def validate_privacy_parameters(
+    graph: UncertainGraph, k: int, epsilon: float
+) -> None:
+    """Raise if the ``(k, epsilon)`` target is unachievable or malformed.
+
+    ``k`` must satisfy ``1 <= k <= |V|`` (entropy of a distribution over
+    ``|V|`` vertices cannot exceed ``log2 |V|``), and ``epsilon`` must be a
+    tolerance in ``[0, 1)``.
+    """
+    if not isinstance(k, (int, np.integer)) or k < 1:
+        raise ObfuscationError(f"k must be a positive integer, got {k!r}")
+    if k > graph.n_nodes:
+        raise ObfuscationError(
+            f"k={k} exceeds the number of vertices ({graph.n_nodes}); "
+            "no distribution over the vertices can reach log2(k) entropy"
+        )
+    if not 0.0 <= float(epsilon) < 1.0:
+        raise ObfuscationError(f"epsilon must be in [0, 1), got {epsilon!r}")
+
+
+def summarize(graph: UncertainGraph) -> dict:
+    """Dataset-characteristics summary (the columns of Table I)."""
+    p = graph.edge_probabilities
+    degrees = graph.expected_degrees()
+    return {
+        "nodes": graph.n_nodes,
+        "edges": graph.n_edges,
+        "mean_edge_probability": float(p.mean()) if p.size else 0.0,
+        "median_edge_probability": float(np.median(p)) if p.size else 0.0,
+        "expected_mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+        "expected_max_degree": float(degrees.max()) if degrees.size else 0.0,
+    }

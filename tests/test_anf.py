@@ -1,0 +1,142 @@
+"""ANF sketches vs. the exact BFS oracle."""
+
+import numpy as np
+import pytest
+
+from repro.anf import (
+    bfs_neighborhood_profile,
+    distance_statistics_from_profile,
+    estimate_cardinality,
+    merge,
+    neighborhood_profile,
+    seed_sketches,
+)
+
+
+class TestSketches:
+    def test_singleton_sketch_has_one_bit(self):
+        sketches = seed_sketches(100, n_sketches=4, seed=0)
+        bits = np.array([[bin(int(x)).count("1") for x in row] for row in sketches])
+        assert (bits == 1).all()
+
+    def test_merge_is_union(self):
+        a = np.array([[0b0011]], dtype=np.uint64)
+        b = np.array([[0b0101]], dtype=np.uint64)
+        assert merge(a, b)[0, 0] == 0b0111
+
+    def test_cardinality_estimate_converges(self):
+        """OR of n singleton sketches estimates n within FM error."""
+        rng = np.random.default_rng(1)
+        for true_n in (10, 100, 1000):
+            sketches = seed_sketches(true_n, n_sketches=64, seed=rng)
+            combined = np.bitwise_or.reduce(sketches, axis=0)[None, :]
+            estimate = estimate_cardinality(combined)[0]
+            assert estimate == pytest.approx(true_n, rel=0.35)
+
+    def test_estimate_monotone_in_set_size(self):
+        sketches = seed_sketches(500, n_sketches=32, seed=2)
+        small = np.bitwise_or.reduce(sketches[:10], axis=0)[None, :]
+        large = np.bitwise_or.reduce(sketches, axis=0)[None, :]
+        assert estimate_cardinality(large)[0] > estimate_cardinality(small)[0]
+
+    def test_invalid_sketch_count(self):
+        with pytest.raises(ValueError):
+            seed_sketches(10, n_sketches=0)
+
+
+class TestBfsProfile:
+    def test_path_graph_profile(self):
+        # 0 - 1 - 2 - 3
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 3])
+        profile = bfs_neighborhood_profile(4, src, dst)
+        # hop 0: everyone reaches themselves
+        np.testing.assert_array_equal(profile[0], [1, 1, 1, 1])
+        # hop 1: endpoints reach 2, middles reach 3
+        np.testing.assert_array_equal(profile[1], [2, 3, 3, 2])
+        # hop 3: all reach all
+        np.testing.assert_array_equal(profile[-1], [4, 4, 4, 4])
+
+    def test_disconnected_components(self):
+        src = np.array([0])
+        dst = np.array([1])
+        profile = bfs_neighborhood_profile(3, src, dst)
+        assert profile[-1].tolist() == [2, 2, 1]
+
+
+class TestDistanceStatistics:
+    def test_path_statistics_exact(self):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 3])
+        profile = bfs_neighborhood_profile(4, src, dst)
+        stats = distance_statistics_from_profile(profile)
+        # distances: 1 (x3 pairs), 2 (x2), 3 (x1) => mean = 10/6
+        assert stats.average_distance == pytest.approx(10 / 6)
+        assert stats.diameter == 3
+
+    def test_empty_graph(self):
+        profile = bfs_neighborhood_profile(
+            3, np.array([], dtype=int), np.array([], dtype=int)
+        )
+        stats = distance_statistics_from_profile(profile)
+        assert np.isnan(stats.average_distance)
+        assert stats.diameter == 0
+
+    def test_complete_graph_distance_one(self):
+        n = 5
+        src, dst = [], []
+        for u in range(n):
+            for v in range(u + 1, n):
+                src.append(u)
+                dst.append(v)
+        profile = bfs_neighborhood_profile(n, np.array(src), np.array(dst))
+        stats = distance_statistics_from_profile(profile)
+        assert stats.average_distance == pytest.approx(1.0)
+        assert stats.diameter == 1
+        assert stats.effective_diameter <= 1.0
+
+
+class TestAnfAgainstBfs:
+    def test_anf_profile_tracks_bfs(self):
+        """On a moderate random graph the sketch totals track BFS within
+        FM estimator error."""
+        rng = np.random.default_rng(3)
+        n = 300
+        src, dst = [], []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.012:
+                    src.append(u)
+                    dst.append(v)
+        src, dst = np.array(src), np.array(dst)
+        exact = bfs_neighborhood_profile(n, src, dst)
+        approx = neighborhood_profile(n, src, dst, n_sketches=48, seed=4)
+        hops = min(exact.shape[0], approx.shape[0])
+        for h in range(1, hops):
+            assert approx[h].sum() == pytest.approx(exact[h].sum(), rel=0.3)
+
+    def test_anf_distance_statistics_close_to_exact(self):
+        rng = np.random.default_rng(5)
+        n = 200
+        src, dst = [], []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.02:
+                    src.append(u)
+                    dst.append(v)
+        src, dst = np.array(src), np.array(dst)
+        exact = distance_statistics_from_profile(bfs_neighborhood_profile(n, src, dst))
+        approx = distance_statistics_from_profile(
+            neighborhood_profile(n, src, dst, n_sketches=64, seed=6)
+        )
+        assert approx.average_distance == pytest.approx(
+            exact.average_distance, rel=0.2
+        )
+
+    def test_anf_terminates_on_convergence(self):
+        """Sketch propagation stops once the horizon is exhausted."""
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        profile = neighborhood_profile(3, src, dst, n_sketches=8, seed=7,
+                                       max_hops=64)
+        assert profile.shape[0] <= 4  # diameter 2 (+1 row for hop 0, +1 slack)

@@ -1,0 +1,69 @@
+"""Degree-adversary attack simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ObfuscationError
+from repro.privacy import (
+    attack_success_probabilities,
+    expected_degree_knowledge,
+    expected_reidentification_rate,
+    reidentification_posterior,
+    top_candidate_hit_rate,
+)
+from repro.ugraph import UncertainGraph
+
+
+@pytest.fixture
+def star():
+    """Deterministic star: the center is trivially re-identifiable."""
+    return UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
+
+
+def test_posterior_rows_are_distributions(star):
+    posterior = reidentification_posterior(star)
+    sums = posterior.sum(axis=1)
+    np.testing.assert_allclose(sums, 1.0)
+
+
+def test_star_center_fully_identified(star):
+    success = attack_success_probabilities(star)
+    assert success[0] == pytest.approx(1.0)  # only vertex with degree 4
+    assert success[1] == pytest.approx(0.25)  # one of four leaves
+
+
+def test_expected_rate_star(star):
+    # center 1.0 + four leaves at 0.25 => (1 + 4*0.25)/5 = 0.4
+    assert expected_reidentification_rate(star) == pytest.approx(0.4)
+
+
+def test_top_candidate_rate_star(star):
+    # center always found; each leaf found with probability 1/4 (ties).
+    assert top_candidate_hit_rate(star) == pytest.approx((1 + 4 * 0.25) / 5)
+
+
+def test_symmetric_graph_rate_is_uniform():
+    cycle = UncertainGraph(6, [(i, (i + 1) % 6, 0.5) for i in range(6)])
+    success = attack_success_probabilities(cycle)
+    np.testing.assert_allclose(success, 1.0 / 6.0, atol=1e-9)
+
+
+def test_impossible_knowledge_gives_zero_success(star):
+    knowledge = np.full(5, 42, dtype=np.int64)
+    success = attack_success_probabilities(star, knowledge)
+    np.testing.assert_allclose(success, 0.0)
+    assert top_candidate_hit_rate(star, knowledge) == 0.0
+
+
+def test_knowledge_shape_checked(star):
+    with pytest.raises(ObfuscationError):
+        reidentification_posterior(star, np.array([1, 2]))
+
+
+def test_anonymization_reduces_attack_success(star):
+    """Flattening probabilities toward 1/2 lowers re-identification."""
+    knowledge = expected_degree_knowledge(star)
+    fuzzed = star.with_probabilities(np.full(star.n_edges, 0.5))
+    before = expected_reidentification_rate(star, knowledge)
+    after = expected_reidentification_rate(fuzzed, knowledge)
+    assert after < before

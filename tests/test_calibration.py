@@ -1,0 +1,71 @@
+"""Risk-calibrated parameter selection."""
+
+import pytest
+
+import repro
+from repro.core import calibrate_k, k_for_attack_rate
+from repro.exceptions import ObfuscationError
+from repro.privacy import (
+    expected_degree_knowledge,
+    expected_reidentification_rate,
+)
+
+
+FAST = dict(n_trials=2, relevance_samples=100, sigma_tolerance=0.05)
+
+
+class TestClosedForm:
+    def test_inverts_worst_case_bound(self):
+        # eps + (1 - eps)/k <= target  =>  k >= (1-eps)/(target-eps)
+        k = k_for_attack_rate(0.05, 0.01, n_nodes=10_000)
+        assert k == 25
+        # The bound holds at that k.
+        assert 0.01 + (1 - 0.01) / k <= 0.05 + 1e-12
+
+    def test_zero_epsilon(self):
+        assert k_for_attack_rate(0.10, 0.0, n_nodes=1000) == 10
+
+    def test_capped_at_n(self):
+        assert k_for_attack_rate(0.001, 0.0, n_nodes=50) == 50
+
+    def test_floor_of_two(self):
+        assert k_for_attack_rate(0.99, 0.0, n_nodes=100) == 2
+
+    def test_epsilon_exceeding_target_rejected(self):
+        with pytest.raises(ObfuscationError):
+            k_for_attack_rate(0.01, 0.05, n_nodes=100)
+
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.5])
+    def test_rate_validated(self, rate):
+        with pytest.raises(ObfuscationError):
+            k_for_attack_rate(rate, 0.0, n_nodes=100)
+
+
+class TestEmpiricalCalibration:
+    def test_finds_k_meeting_target(self):
+        graph = repro.load_dataset("ppi", scale=0.25, seed=51)
+        knowledge = expected_degree_knowledge(graph)
+        base_rate = expected_reidentification_rate(graph, knowledge)
+        target = base_rate * 0.9  # demand a measurable improvement
+        k, result = calibrate_k(
+            graph, target, epsilon=0.05, seed=0, **FAST
+        )
+        assert result.success
+        measured = expected_reidentification_rate(result.graph, knowledge)
+        assert measured <= target
+
+    def test_impossible_target_raises(self):
+        graph = repro.load_dataset("ppi", scale=0.2, seed=52)
+        with pytest.raises(ObfuscationError):
+            calibrate_k(graph, 1e-6, epsilon=0.05, k_grid=[2, 4], seed=1,
+                        **FAST)
+
+    def test_custom_grid_respected(self):
+        graph = repro.load_dataset("ppi", scale=0.2, seed=53)
+        knowledge = expected_degree_knowledge(graph)
+        base_rate = expected_reidentification_rate(graph, knowledge)
+        k, __ = calibrate_k(
+            graph, base_rate * 0.95, epsilon=0.05, k_grid=[6], seed=2,
+            **FAST,
+        )
+        assert k == 6

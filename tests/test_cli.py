@@ -1,0 +1,166 @@
+"""CLI smoke and behavior tests (driven in-process through main)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.ugraph import read_edge_list
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["summary", "ppi"])
+    assert args.command == "summary"
+
+
+def test_generate_and_summary(tmp_path, capsys):
+    out = tmp_path / "g.pel"
+    assert main(["generate", "ppi", str(out), "--scale", "0.2",
+                 "--seed", "1"]) == 0
+    assert out.exists()
+    graph = read_edge_list(out)
+    assert graph.n_edges > 0
+    capsys.readouterr()  # drop the generate progress line
+
+    assert main(["summary", str(out)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["nodes"] == graph.n_nodes
+
+
+def test_anonymize_and_check_and_evaluate(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    target = tmp_path / "anon.pel"
+    assert main(["generate", "ppi", str(source), "--scale", "0.2",
+                 "--seed", "2"]) == 0
+    capsys.readouterr()
+
+    code = main([
+        "anonymize", str(source), str(target),
+        "--method", "me", "--k", "4", "--epsilon", "0.08",
+        "--trials", "2", "--seed", "3",
+    ])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["success"] is True
+    assert target.exists()
+
+    code = main(["check", str(target), "--k", "4", "--epsilon", "0.08",
+                 "--original", str(source)])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert report["satisfied"] is True
+
+    code = main(["evaluate", str(source), str(target), "--samples", "60",
+                 "--seed", "4"])
+    rows = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert "average_degree" in rows
+
+
+def test_check_failure_exit_code(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "5"])
+    capsys.readouterr()
+    # An unanonymized heavy-tailed graph cannot satisfy a huge k.
+    code = main(["check", str(source), "--k", "60", "--epsilon", "0.0"])
+    assert code == 1
+
+
+def test_error_reported_as_exit_2(tmp_path, capsys):
+    code = main(["summary", "/does/not/exist.pel"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_report_subcommand(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    target = tmp_path / "anon.pel"
+    report_path = tmp_path / "release.md"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "6"])
+    main(["anonymize", str(source), str(target), "--method", "me",
+          "--k", "4", "--epsilon", "0.08", "--trials", "2", "--seed", "7"])
+    capsys.readouterr()
+
+    code = main(["report", str(source), str(target), "--k", "4",
+                 "--epsilon", "0.08", "--samples", "40", "--seed", "8",
+                 "--output", str(report_path)])
+    assert code == 0
+    text = report_path.read_text()
+    assert text.startswith("# Uncertain-graph anonymization report")
+    assert "SATISFIED" in text
+
+
+def test_report_to_stdout(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "9"])
+    capsys.readouterr()
+    code = main(["report", str(source), str(source), "--k", "2",
+                 "--epsilon", "0.5", "--samples", "30", "--seed", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "## Utility preservation" in out
+
+
+def test_anonymize_repan_method(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    target = tmp_path / "anon.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "14"])
+    capsys.readouterr()
+    code = main([
+        "anonymize", str(source), str(target),
+        "--method", "rep-an", "--k", "3", "--epsilon", "0.1",
+        "--trials", "2", "--seed", "15",
+    ])
+    summary = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert summary["method"] == "rep-an"
+    assert target.exists()
+
+
+def test_anonymize_failure_exit_code(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    target = tmp_path / "anon.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "16"])
+    capsys.readouterr()
+    # k close to n with zero tolerance is unachievable (but valid input).
+    code = main([
+        "anonymize", str(source), str(target),
+        "--method", "me", "--k", "60", "--epsilon", "0.0",
+        "--trials", "1", "--seed", "17",
+    ])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "FAILED" in err
+    assert not target.exists()
+
+
+def test_sweep_subcommand(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "12"])
+    capsys.readouterr()
+    code = main(["sweep", str(source), "--k", "3", "5",
+                 "--epsilon", "0.08", "--method", "me",
+                 "--trials", "2", "--samples", "60", "--seed", "13"])
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = [ln for ln in out.splitlines() if ln.strip()]
+    assert any(ln.strip().startswith("3") for ln in lines)
+    assert any(ln.strip().startswith("5") for ln in lines)
+    assert "FAILED" not in out
+
+
+def test_diagnose_subcommand(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "11"])
+    capsys.readouterr()
+
+    code = main(["diagnose", str(source), "--k", "4", "--epsilon", "0.05"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["feasible"] is True
+
+    # An absurd k on a tiny graph is structurally infeasible: exit 1.
+    code = main(["diagnose", str(source), "--k", "10000",
+                 "--epsilon", "0.0"])
+    assert code == 1

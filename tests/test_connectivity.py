@@ -1,0 +1,69 @@
+"""Unit tests for batch connectivity over sampled worlds."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    batch_component_labels,
+    batch_pair_counts,
+    pair_counts_from_labels,
+    world_component_labels,
+)
+from repro.ugraph import UncertainGraph, sample_edge_masks
+
+
+def test_world_labels_empty_edge_set():
+    labels = world_component_labels(4, np.array([], dtype=np.int64),
+                                    np.array([], dtype=np.int64))
+    assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+
+def test_world_labels_path():
+    src = np.array([0, 1])
+    dst = np.array([1, 2])
+    labels = world_component_labels(4, src, dst)
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] != labels[0]
+
+
+def test_backends_agree():
+    rng = np.random.default_rng(5)
+    n = 30
+    src, dst = [], []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.08:
+                src.append(u)
+                dst.append(v)
+    src = np.array(src)
+    dst = np.array(dst)
+    a = world_component_labels(n, src, dst, backend="scipy")
+    b = world_component_labels(n, src, dst, backend="python")
+    # Labelings must induce the same partition.
+    for i in range(n):
+        for j in range(i + 1, n):
+            assert (a[i] == a[j]) == (b[i] == b[j])
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        world_component_labels(2, np.array([0]), np.array([1]), backend="gpu")
+
+
+def test_batch_labels_shape(triangle):
+    masks = sample_edge_masks(triangle, 20, seed=0)
+    labels = batch_component_labels(triangle, masks)
+    assert labels.shape == (20, 3)
+
+
+def test_pair_counts_from_labels():
+    labels = np.array([[0, 0, 1, 1], [0, 0, 0, 0], [0, 1, 2, 3]])
+    counts = pair_counts_from_labels(labels)
+    np.testing.assert_array_equal(counts, [2.0, 6.0, 0.0])
+
+
+def test_batch_pair_counts_certain_graph(certain_square):
+    masks = sample_edge_masks(certain_square, 10, seed=1)
+    counts = batch_pair_counts(certain_square, masks)
+    # The square is deterministic and connected: always C(4,2) = 6 pairs.
+    np.testing.assert_array_equal(counts, np.full(10, 6.0))

@@ -1,0 +1,163 @@
+"""Dataset generators, probability models, and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    MODEL_NAMES,
+    PROFILES,
+    barabasi_albert_edges,
+    chung_lu_edges,
+    dataset_tolerance,
+    discrete_levels,
+    erdos_renyi_edges,
+    load_dataset,
+    load_profile,
+    near_uniform,
+    power_law_weights,
+    probability_model,
+    profile_names,
+    skewed_small,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGenerators:
+    def test_power_law_weights_range(self):
+        w = power_law_weights(500, exponent=2.5, min_weight=2.0, seed=0)
+        assert w.min() >= 2.0
+        assert w.max() <= 2.0 * np.sqrt(500) + 1e-9
+
+    def test_power_law_heavy_tail(self):
+        w = power_law_weights(5000, exponent=2.2, seed=1)
+        assert w.max() > 5 * np.median(w)
+
+    def test_power_law_rejects_small_exponent(self):
+        with pytest.raises(Exception):
+            power_law_weights(10, exponent=1.0)
+
+    def test_chung_lu_expected_degrees_tracked(self):
+        w = np.full(200, 6.0)
+        edges = chung_lu_edges(w, seed=2)
+        degree = np.zeros(200)
+        for u, v in edges:
+            degree[u] += 1
+            degree[v] += 1
+        assert degree.mean() == pytest.approx(6.0, rel=0.2)
+
+    def test_chung_lu_canonical_pairs(self):
+        edges = chung_lu_edges(np.full(50, 4.0), seed=3)
+        assert all(u < v for u, v in edges)
+        assert len(edges) == len(set(edges))
+
+    def test_chung_lu_zero_weights(self):
+        assert chung_lu_edges(np.zeros(10), seed=4) == []
+
+    def test_erdos_renyi_density(self):
+        edges = erdos_renyi_edges(100, 0.1, seed=5)
+        assert len(edges) == pytest.approx(0.1 * 100 * 99 / 2, rel=0.2)
+
+    def test_erdos_renyi_probability_validated(self):
+        with pytest.raises(Exception):
+            erdos_renyi_edges(10, 1.5)
+
+    def test_barabasi_albert_edge_count(self):
+        edges = barabasi_albert_edges(100, 3, seed=6)
+        assert len(edges) == (100 - 3) * 3
+
+
+class TestProbabilityModels:
+    def test_discrete_levels_support(self):
+        p = discrete_levels(5000, seed=0)
+        assert set(np.unique(p)) <= {0.1, 0.3, 0.5, 0.7, 0.9}
+
+    def test_discrete_levels_mean_near_dblp(self):
+        p = discrete_levels(50_000, seed=1)
+        assert p.mean() == pytest.approx(0.46, abs=0.02)
+
+    def test_skewed_small_mean_near_brightkite(self):
+        p = skewed_small(50_000, seed=2)
+        assert p.mean() == pytest.approx(0.29, abs=0.02)
+        assert np.median(p) < 0.3  # skewed toward zero
+
+    def test_near_uniform_mean_near_ppi(self):
+        p = near_uniform(50_000, seed=3)
+        assert p.mean() == pytest.approx(0.29, abs=0.02)
+
+    def test_all_models_in_unit_interval(self):
+        for name in MODEL_NAMES:
+            p = probability_model(name, 1000, seed=4)
+            assert p.min() >= 0.0 and p.max() <= 1.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            probability_model("bimodal", 10)
+
+    def test_levels_weights_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            discrete_levels(10, levels=(0.5,), weights=(0.5, 0.5))
+
+    def test_near_uniform_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            near_uniform(10, low=0.9, high=0.1)
+
+
+class TestProfiles:
+    def test_profile_names(self):
+        assert profile_names() == ("dblp", "brightkite", "ppi")
+        assert set(PROFILES) == set(profile_names())
+
+    @pytest.mark.parametrize("name", ["dblp", "brightkite", "ppi"])
+    def test_generation_reproducible(self, name):
+        a = load_profile(name, scale=0.2, seed=7)
+        b = load_profile(name, scale=0.2, seed=7)
+        assert a == b
+
+    def test_scale_controls_size(self):
+        small = load_profile("dblp", scale=0.1, seed=8)
+        large = load_profile("dblp", scale=0.3, seed=8)
+        assert large.n_nodes > small.n_nodes
+
+    def test_probability_shapes_match_figure3(self):
+        dblp = load_profile("dblp", scale=0.5, seed=9)
+        bk = load_profile("brightkite", scale=0.5, seed=9)
+        # DBLP: discrete levels; Brightkite: continuous small values.
+        assert np.unique(dblp.edge_probabilities).shape[0] <= 5
+        assert np.unique(bk.edge_probabilities).shape[0] > 50
+        assert bk.mean_edge_probability() < dblp.mean_edge_probability()
+
+    def test_heavy_tail_present(self):
+        g = load_profile("dblp", seed=10)
+        degrees = g.expected_degrees()
+        assert degrees.max() > 4 * np.median(degrees)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            load_profile("dblp", scale=0.0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigurationError):
+            load_profile("facebook")
+
+
+class TestLoaders:
+    def test_load_profile_by_name(self):
+        g = load_dataset("ppi", scale=0.2, seed=11)
+        assert g.n_nodes > 10
+
+    def test_load_from_file(self, tmp_path):
+        from repro.ugraph import write_edge_list
+
+        g = load_dataset("ppi", scale=0.2, seed=12)
+        path = tmp_path / "g.pel"
+        write_edge_list(g, path)
+        loaded = load_dataset(str(path))
+        assert loaded.n_edges == g.n_edges
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("/nonexistent/file.pel")
+
+    def test_tolerances(self):
+        assert dataset_tolerance("dblp") == PROFILES["dblp"].tolerance
+        assert dataset_tolerance("unknown", default=0.03) == 0.03

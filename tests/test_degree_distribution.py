@@ -1,0 +1,151 @@
+"""Poisson-binomial degree machinery vs. brute force and sampling."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    degree_entropy_per_vertex,
+    degree_uncertainty_matrix,
+    expected_degree_knowledge,
+    incident_probability_lists,
+    poisson_binomial_moments,
+    poisson_binomial_pmf,
+    shannon_entropy,
+)
+from repro.ugraph import UncertainGraph, sample_edge_masks
+
+
+def brute_force_pmf(probabilities):
+    """Reference pmf by enumerating all Bernoulli outcomes."""
+    n = len(probabilities)
+    pmf = np.zeros(n + 1)
+    for bits in itertools.product([0, 1], repeat=n):
+        prob = 1.0
+        for b, p in zip(bits, probabilities):
+            prob *= p if b else (1 - p)
+        pmf[sum(bits)] += prob
+    return pmf
+
+
+class TestPoissonBinomialPmf:
+    def test_empty_is_point_mass_at_zero(self):
+        np.testing.assert_array_equal(poisson_binomial_pmf(np.array([])), [1.0])
+
+    def test_single_bernoulli(self):
+        np.testing.assert_allclose(
+            poisson_binomial_pmf(np.array([0.3])), [0.7, 0.3]
+        )
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for __ in range(5):
+            p = rng.random(7)
+            np.testing.assert_allclose(
+                poisson_binomial_pmf(p), brute_force_pmf(p), atol=1e-12
+            )
+
+    def test_binomial_special_case(self):
+        from scipy.stats import binom
+
+        p = np.full(10, 0.4)
+        np.testing.assert_allclose(
+            poisson_binomial_pmf(p), binom.pmf(np.arange(11), 10, 0.4), atol=1e-12
+        )
+
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(1)
+        p = rng.random(20)
+        assert poisson_binomial_pmf(p).sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf(np.array([0.5, 1.5]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf(np.ones((2, 2)))
+
+
+class TestMoments:
+    def test_mean_and_variance(self):
+        p = np.array([0.2, 0.5, 0.9])
+        mean, var = poisson_binomial_moments(p)
+        assert mean == pytest.approx(1.6)
+        assert var == pytest.approx(0.2 * 0.8 + 0.25 + 0.9 * 0.1)
+
+    def test_moments_match_pmf(self):
+        rng = np.random.default_rng(2)
+        p = rng.random(12)
+        pmf = poisson_binomial_pmf(p)
+        support = np.arange(pmf.shape[0])
+        mean, var = poisson_binomial_moments(p)
+        assert (support * pmf).sum() == pytest.approx(mean)
+        assert ((support - mean) ** 2 * pmf).sum() == pytest.approx(var)
+
+
+class TestDegreeMatrix:
+    def test_rows_are_distributions(self, small_profile_graph):
+        m = degree_uncertainty_matrix(small_profile_graph)
+        np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_row_matches_vertex_pmf(self, triangle):
+        m = degree_uncertainty_matrix(triangle)
+        incident = incident_probability_lists(triangle)
+        for v in range(3):
+            pmf = poisson_binomial_pmf(incident[v])
+            np.testing.assert_allclose(m[v, : pmf.shape[0]], pmf)
+
+    def test_zero_probability_edges_ignored(self):
+        g = UncertainGraph(3, [(0, 1, 0.0), (1, 2, 0.5)])
+        incident = incident_probability_lists(g)
+        assert incident[0].size == 0
+        assert incident[1].size == 1
+
+    def test_max_degree_truncation(self, triangle):
+        m = degree_uncertainty_matrix(triangle, max_degree=1)
+        assert m.shape == (3, 2)
+
+    def test_matches_sampled_degrees(self, triangle):
+        """DP pmf agrees with Monte-Carlo degree frequencies."""
+        masks = sample_edge_masks(triangle, 30_000, seed=3)
+        m = degree_uncertainty_matrix(triangle)
+        src, dst = triangle.edge_src, triangle.edge_dst
+        for v in range(3):
+            incident_cols = np.flatnonzero((src == v) | (dst == v))
+            sampled = masks[:, incident_cols].sum(axis=1)
+            freq = np.bincount(sampled, minlength=m.shape[1]) / masks.shape[0]
+            np.testing.assert_allclose(freq, m[v], atol=0.01)
+
+
+class TestDegreeEntropy:
+    def test_deterministic_graph_has_zero_entropy(self, certain_square):
+        np.testing.assert_allclose(
+            degree_entropy_per_vertex(certain_square), 0.0
+        )
+
+    def test_half_probability_maximizes_single_edge_entropy(self):
+        low = UncertainGraph(2, [(0, 1, 0.1)])
+        mid = UncertainGraph(2, [(0, 1, 0.5)])
+        assert degree_entropy_per_vertex(mid)[0] > degree_entropy_per_vertex(low)[0]
+        assert degree_entropy_per_vertex(mid)[0] == pytest.approx(1.0)
+
+    def test_matches_pmf_entropy(self, triangle):
+        entropies = degree_entropy_per_vertex(triangle)
+        incident = incident_probability_lists(triangle)
+        for v in range(3):
+            assert entropies[v] == pytest.approx(
+                shannon_entropy(poisson_binomial_pmf(incident[v]))
+            )
+
+
+class TestKnowledge:
+    def test_rounds_expected_degree(self, triangle):
+        knowledge = expected_degree_knowledge(triangle)
+        np.testing.assert_array_equal(knowledge, [1, 1, 1])
+
+    def test_deterministic_graph_exact_degrees(self, certain_square):
+        np.testing.assert_array_equal(
+            expected_degree_knowledge(certain_square), [2, 2, 2, 2]
+        )

@@ -1,0 +1,28 @@
+"""Run the executable examples embedded in docstrings.
+
+Keeps the documentation honest: every ``>>>`` snippet in the listed
+modules must run (snippets marked ``# doctest: +SKIP`` are excluded, as
+usual).
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.chameleon
+import repro.ugraph.builder
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro,
+        repro.ugraph.builder,
+        repro.core.chameleon,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"

@@ -1,0 +1,86 @@
+"""Unit tests for entropy helpers."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    column_entropies,
+    effective_anonymity,
+    normal_differential_entropy,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform(self):
+        assert shannon_entropy(np.ones(8)) == pytest.approx(3.0)
+
+    def test_point_mass(self):
+        assert shannon_entropy(np.array([0.0, 1.0, 0.0])) == 0.0
+
+    def test_unnormalized_input_normalized(self):
+        assert shannon_entropy(np.array([2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_zero_vector(self):
+        assert shannon_entropy(np.zeros(4)) == 0.0
+
+    def test_natural_base(self):
+        assert shannon_entropy(np.ones(4), base=np.e) == pytest.approx(np.log(4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(np.array([0.5, -0.5]))
+
+    def test_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_entropy(np.ones((2, 2)))
+
+
+class TestColumnEntropies:
+    def test_matches_per_column_shannon(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((6, 4))
+        result = column_entropies(m)
+        expected = [shannon_entropy(m[:, j]) for j in range(4)]
+        np.testing.assert_allclose(result, expected)
+
+    def test_zero_column_is_infinite(self):
+        m = np.array([[0.5, 0.0], [0.5, 0.0]])
+        result = column_entropies(m)
+        assert result[0] == pytest.approx(1.0)
+        assert np.isinf(result[1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            column_entropies(np.array([[1.0, -1.0]]))
+
+    def test_vector_rejected(self):
+        with pytest.raises(ValueError):
+            column_entropies(np.ones(3))
+
+
+class TestNormalEntropy:
+    def test_unit_variance(self):
+        expected = 0.5 * np.log(2 * np.pi) + 0.5
+        assert normal_differential_entropy(1.0) == pytest.approx(expected)
+
+    def test_monotone_in_variance(self):
+        assert normal_differential_entropy(2.0) > normal_differential_entropy(1.0)
+
+    def test_zero_variance(self):
+        assert normal_differential_entropy(0.0) == -np.inf
+
+    def test_vectorized(self):
+        out = normal_differential_entropy(np.array([1.0, 4.0]))
+        assert out.shape == (2,)
+
+
+class TestEffectiveAnonymity:
+    def test_bits_to_set_size(self):
+        assert effective_anonymity(3.0) == pytest.approx(8.0)
+
+    def test_zero_entropy(self):
+        assert effective_anonymity(0.0) == 1.0
+
+    def test_infinite_entropy(self):
+        assert effective_anonymity(float("inf")) == float("inf")

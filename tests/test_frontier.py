@@ -1,0 +1,64 @@
+"""Privacy-utility frontier helper."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import privacy_utility_frontier
+from repro.privacy import (
+    expected_degree_knowledge,
+    expected_reidentification_rate,
+)
+
+
+FAST = dict(n_trials=2, relevance_samples=100, sigma_tolerance=0.05)
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    graph = repro.load_dataset("ppi", scale=0.3, seed=61)
+    points = privacy_utility_frontier(
+        graph, [3, 6, 12], 0.05, metric_samples=200, seed=0, **FAST
+    )
+    return graph, points
+
+
+def test_one_point_per_k(frontier):
+    __, points = frontier
+    assert [p.k for p in points] == [3, 6, 12]
+    assert all(p.success for p in points)
+
+
+def test_attack_rates_below_baseline(frontier):
+    graph, points = frontier
+    baseline = expected_reidentification_rate(
+        graph, expected_degree_knowledge(graph)
+    )
+    for p in points:
+        assert p.attack_rate < baseline
+
+
+def test_metrics_finite_on_success(frontier):
+    __, points = frontier
+    for p in points:
+        assert np.isfinite(p.reliability_loss)
+        assert np.isfinite(p.noise_l1)
+        assert p.noise_l1 > 0
+
+
+def test_rows_are_tuples(frontier):
+    __, points = frontier
+    row = points[0].row()
+    assert row[0] == 3
+    assert row[1] is True
+
+
+def test_failures_get_nan_rows():
+    graph = repro.load_dataset("ppi", scale=0.2, seed=62)
+    points = privacy_utility_frontier(
+        graph, [graph.n_nodes - 1], 0.0, seed=1,
+        sigma_initial=0.25, sigma_max=0.5, **FAST,
+    )
+    assert not points[0].success
+    assert np.isnan(points[0].attack_rate)
+    assert np.isnan(points[0].reliability_loss)

@@ -1,0 +1,99 @@
+"""Link-disclosure risk metrics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import ObfuscationError
+from repro.privacy import (
+    link_disclosure_confidence,
+    link_privacy_report,
+)
+from repro.ugraph import UncertainGraph
+
+
+FAST = dict(n_trials=2, relevance_samples=100, sigma_tolerance=0.05)
+
+
+class TestConfidence:
+    def test_half_probability_is_perfect_protection(self):
+        original = UncertainGraph(2, [(0, 1, 0.9)])
+        published = UncertainGraph(2, [(0, 1, 0.5)])
+        conf = link_disclosure_confidence(original, published)
+        assert conf[0] == pytest.approx(0.5)
+
+    def test_extremes_are_full_disclosure(self):
+        original = UncertainGraph(3, [(0, 1, 0.6), (1, 2, 0.6)])
+        published = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 0.0)])
+        conf = link_disclosure_confidence(original, published)
+        np.testing.assert_allclose(conf, 1.0)
+
+    def test_dropped_edge_counts_as_confident_absence(self):
+        original = UncertainGraph(2, [(0, 1, 0.7)])
+        published = UncertainGraph(2)
+        conf = link_disclosure_confidence(original, published)
+        assert conf[0] == 1.0
+
+    def test_vertex_set_checked(self):
+        with pytest.raises(ObfuscationError):
+            link_disclosure_confidence(UncertainGraph(2), UncertainGraph(3))
+
+
+class TestReport:
+    def test_identity_release_is_baseline(self, small_profile_graph):
+        report = link_privacy_report(small_profile_graph, small_profile_graph)
+        assert report.mean_confidence == pytest.approx(
+            report.baseline_confidence
+        )
+        assert report.confidence_reduction == pytest.approx(0.0)
+
+    def test_max_entropy_noise_reduces_confidence(self, small_profile_graph):
+        result = repro.anonymize(small_profile_graph, k=6, epsilon=0.05,
+                                 seed=0, **FAST)
+        assert result.success
+        report = link_privacy_report(small_profile_graph, result.graph)
+        # Max-entropy perturbation pulls probabilities toward 1/2, so the
+        # adversary's mean confidence about relationships drops.
+        assert report.mean_confidence <= report.baseline_confidence + 1e-9
+
+    def test_disclosed_fraction_threshold(self):
+        original = UncertainGraph(
+            4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]
+        )
+        published = UncertainGraph(
+            4, [(0, 1, 0.95), (1, 2, 0.5), (2, 3, 0.6)]
+        )
+        report = link_privacy_report(original, published, threshold=0.9)
+        assert report.disclosed_fraction == pytest.approx(1 / 3)
+        assert report.baseline_disclosed_fraction == 0.0
+
+    def test_edgeless_graph(self):
+        report = link_privacy_report(UncertainGraph(3), UncertainGraph(3))
+        assert report.disclosed_fraction == 0.0
+
+    def test_threshold_validated(self, small_profile_graph):
+        with pytest.raises(ObfuscationError):
+            link_privacy_report(small_profile_graph, small_profile_graph,
+                                threshold=0.4)
+
+    def test_repr_readable(self, small_profile_graph):
+        text = repr(link_privacy_report(small_profile_graph,
+                                        small_profile_graph))
+        assert "mean_conf" in text
+
+    def test_repan_discloses_more_links_than_chameleon(
+        self, small_profile_graph
+    ):
+        """Rep-An's representative step collapses probabilities to {0, 1}
+        -- near-total link disclosure -- before noise is re-injected."""
+        rsme = repro.anonymize(small_profile_graph, k=5, epsilon=0.05,
+                               seed=1, **FAST)
+        repan = repro.rep_an(small_profile_graph, 5, 0.05, seed=1, **FAST)
+        assert rsme.success and repan.success
+        conf_rsme = link_privacy_report(
+            small_profile_graph, rsme.graph
+        ).mean_confidence
+        conf_repan = link_privacy_report(
+            small_profile_graph, repan.graph
+        ).mean_confidence
+        assert conf_rsme < conf_repan

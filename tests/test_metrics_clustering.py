@@ -1,0 +1,88 @@
+"""Clustering-coefficient metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    expected_clustering_coefficient,
+    expected_triangle_count,
+    local_clustering_from_edges,
+    sampled_triangle_count,
+)
+from repro.ugraph import UncertainGraph
+
+
+def _complete(n, p=1.0):
+    return UncertainGraph(
+        n, [(u, v, p) for u in range(n) for v in range(u + 1, n)]
+    )
+
+
+class TestLocalClustering:
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(0)
+        n = 40
+        g = nx.gnp_random_graph(n, 0.15, seed=1)
+        src = np.array([u for u, v in g.edges()])
+        dst = np.array([v for u, v in g.edges()])
+        ours = local_clustering_from_edges(n, src, dst)
+        theirs = nx.average_clustering(g, count_zeros=True)
+        assert ours == pytest.approx(theirs)
+
+    def test_triangle_is_fully_clustered(self):
+        src = np.array([0, 1, 0])
+        dst = np.array([1, 2, 2])
+        assert local_clustering_from_edges(3, src, dst) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        src = np.array([0, 0, 0])
+        dst = np.array([1, 2, 3])
+        assert local_clustering_from_edges(4, src, dst) == 0.0
+
+    def test_empty(self):
+        assert local_clustering_from_edges(
+            3, np.array([], dtype=int), np.array([], dtype=int)
+        ) == 0.0
+
+
+class TestExpectedTriangles:
+    def test_certain_triangle(self):
+        assert expected_triangle_count(_complete(3)) == pytest.approx(1.0)
+
+    def test_k4_has_four_triangles(self):
+        assert expected_triangle_count(_complete(4)) == pytest.approx(4.0)
+
+    def test_uncertain_triangle_product_rule(self):
+        g = UncertainGraph(3, [(0, 1, 0.5), (1, 2, 0.8), (0, 2, 0.3)])
+        assert expected_triangle_count(g) == pytest.approx(0.5 * 0.8 * 0.3)
+
+    def test_zero_probability_edges_break_triangles(self):
+        g = UncertainGraph(3, [(0, 1, 0.0), (1, 2, 0.8), (0, 2, 0.3)])
+        assert expected_triangle_count(g) == 0.0
+
+    def test_closed_form_matches_sampling(self, small_profile_graph):
+        exact = expected_triangle_count(small_profile_graph)
+        sampled = sampled_triangle_count(small_profile_graph,
+                                         n_samples=3000, seed=2)
+        assert sampled == pytest.approx(exact, rel=0.15, abs=0.5)
+
+
+class TestExpectedClustering:
+    def test_certain_complete_graph_is_one(self):
+        assert expected_clustering_coefficient(
+            _complete(5), n_samples=5, seed=3
+        ) == pytest.approx(1.0)
+
+    def test_probability_raises_clustering(self):
+        low = expected_clustering_coefficient(_complete(5, 0.3),
+                                              n_samples=800, seed=4)
+        high = expected_clustering_coefficient(_complete(5, 0.9),
+                                               n_samples=800, seed=4)
+        assert high > low
+
+    def test_bounds(self, small_profile_graph):
+        value = expected_clustering_coefficient(small_profile_graph,
+                                                n_samples=50, seed=5)
+        assert 0.0 <= value <= 1.0

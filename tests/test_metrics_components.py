@@ -1,0 +1,91 @@
+"""Component-structure metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    expected_component_count,
+    isolation_probabilities,
+    largest_component_statistics,
+)
+from repro.ugraph import UncertainGraph
+
+
+class TestIsolation:
+    def test_closed_form(self, triangle):
+        iso = isolation_probabilities(triangle)
+        # vertex 0 touches edges (0,1)@0.5 and (0,2)@0.3
+        assert iso[0] == pytest.approx(0.5 * 0.7)
+        assert iso[1] == pytest.approx(0.5 * 0.2)
+        assert iso[2] == pytest.approx(0.2 * 0.7)
+
+    def test_certain_graph_never_isolated(self, certain_square):
+        np.testing.assert_allclose(
+            isolation_probabilities(certain_square), 0.0
+        )
+
+    def test_edgeless_always_isolated(self):
+        np.testing.assert_allclose(
+            isolation_probabilities(UncertainGraph(3)), 1.0
+        )
+
+    def test_matches_sampling(self, small_profile_graph):
+        from repro.ugraph import sample_edge_masks
+
+        iso = isolation_probabilities(small_profile_graph)
+        masks = sample_edge_masks(small_profile_graph, 5000, seed=0)
+        src = small_profile_graph.edge_src
+        dst = small_profile_graph.edge_dst
+        sampled = np.zeros(small_profile_graph.n_nodes)
+        for i in range(5000):
+            deg = np.zeros(small_profile_graph.n_nodes, dtype=np.int64)
+            keep = masks[i]
+            np.add.at(deg, src[keep], 1)
+            np.add.at(deg, dst[keep], 1)
+            sampled += deg == 0
+        sampled /= 5000
+        np.testing.assert_allclose(iso, sampled, atol=0.03)
+
+
+class TestComponentCount:
+    def test_certain_graph(self, certain_square):
+        assert expected_component_count(
+            certain_square, n_samples=20, seed=1
+        ) == 1.0
+
+    def test_edgeless_graph(self):
+        assert expected_component_count(
+            UncertainGraph(5), n_samples=10, seed=2
+        ) == pytest.approx(5.0)
+
+    def test_single_edge_two_worlds(self):
+        g = UncertainGraph(2, [(0, 1, 0.5)])
+        # E[#components] = 0.5 * 1 + 0.5 * 2 = 1.5
+        assert expected_component_count(
+            g, n_samples=20_000, seed=3
+        ) == pytest.approx(1.5, abs=0.02)
+
+
+class TestLargestComponent:
+    def test_certain_graph_stats(self, certain_square):
+        stats = largest_component_statistics(certain_square, n_samples=20,
+                                             seed=4)
+        assert stats["mean"] == 4.0
+        assert stats["std"] == 0.0
+        assert stats["fraction"] == 1.0
+
+    def test_bounds(self, small_profile_graph):
+        stats = largest_component_statistics(small_profile_graph,
+                                             n_samples=100, seed=5)
+        assert 1.0 <= stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["max"] <= small_profile_graph.n_nodes
+        assert 0.0 < stats["fraction"] <= 1.0
+
+    def test_denser_graph_bigger_core(self):
+        sparse = UncertainGraph(
+            10, [(i, (i + 1) % 10, 0.3) for i in range(10)]
+        )
+        dense = sparse.with_probabilities(np.full(10, 0.9))
+        s = largest_component_statistics(sparse, n_samples=500, seed=6)
+        d = largest_component_statistics(dense, n_samples=500, seed=6)
+        assert d["mean"] > s["mean"]

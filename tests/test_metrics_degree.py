@@ -1,0 +1,81 @@
+"""Degree metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    degree_distribution_l1_error,
+    expected_average_degree,
+    expected_degree_histogram,
+    expected_max_degree,
+    sampled_degree_matrix,
+)
+from repro.ugraph import UncertainGraph
+
+
+def test_average_degree_closed_form(triangle):
+    # 2 * (0.5 + 0.8 + 0.3) / 3
+    assert expected_average_degree(triangle) == pytest.approx(3.2 / 3)
+
+
+def test_average_degree_empty():
+    assert expected_average_degree(UncertainGraph(0)) == 0.0
+    assert expected_average_degree(UncertainGraph(5)) == 0.0
+
+
+def test_histogram_sums_to_n(small_profile_graph):
+    hist = expected_degree_histogram(small_profile_graph)
+    assert hist.sum() == pytest.approx(small_profile_graph.n_nodes)
+
+
+def test_histogram_deterministic(certain_square):
+    hist = expected_degree_histogram(certain_square)
+    # every vertex has degree exactly 2
+    np.testing.assert_allclose(hist, [0, 0, 4])
+
+
+def test_histogram_matches_sampling(triangle):
+    hist = expected_degree_histogram(triangle)
+    degrees = sampled_degree_matrix(triangle, n_samples=30_000, seed=0)
+    sampled_hist = np.zeros_like(hist)
+    for d in range(hist.shape[0]):
+        sampled_hist[d] = (degrees == d).sum(axis=1).mean()
+    np.testing.assert_allclose(hist, sampled_hist, atol=0.05)
+
+
+def test_sampled_degree_matrix_shape(triangle):
+    m = sampled_degree_matrix(triangle, n_samples=50, seed=1)
+    assert m.shape == (50, 3)
+    assert m.min() >= 0
+
+
+def test_sampled_degree_matrix_edgeless():
+    m = sampled_degree_matrix(UncertainGraph(4), n_samples=10, seed=2)
+    assert (m == 0).all()
+
+
+def test_expected_max_degree_deterministic(certain_square):
+    assert expected_max_degree(certain_square, n_samples=20, seed=3) == 2.0
+
+
+def test_expected_max_degree_bounds(small_profile_graph):
+    value = expected_max_degree(small_profile_graph, n_samples=100, seed=4)
+    potential = np.zeros(small_profile_graph.n_nodes)
+    np.add.at(potential, small_profile_graph.edge_src, 1)
+    np.add.at(potential, small_profile_graph.edge_dst, 1)
+    assert 0 < value <= potential.max()
+
+
+def test_l1_error_zero_for_identical(triangle):
+    assert degree_distribution_l1_error(triangle, triangle) == pytest.approx(0.0)
+
+
+def test_l1_error_positive_for_different(triangle):
+    flat = triangle.with_probabilities(np.full(3, 0.01))
+    assert degree_distribution_l1_error(triangle, flat) > 0.1
+
+
+def test_l1_error_bounded_by_two(certain_square):
+    empty_ish = certain_square.with_probabilities(np.zeros(4))
+    error = degree_distribution_l1_error(certain_square, empty_ish)
+    assert 0 < error <= 2.0

@@ -1,0 +1,81 @@
+"""Degree-sequence metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.metrics import (
+    degree_sequence_distance,
+    expected_degree_sequence,
+    k_degree_anonymity,
+)
+from repro.ugraph import UncertainGraph
+
+
+class TestSequence:
+    def test_sorted_descending(self, small_profile_graph):
+        seq = expected_degree_sequence(small_profile_graph)
+        assert (np.diff(seq) <= 0).all()
+
+    def test_values(self, triangle):
+        np.testing.assert_allclose(
+            expected_degree_sequence(triangle), [1.3, 1.1, 0.8]
+        )
+
+
+class TestKDegreeAnonymity:
+    def test_regular_graph_fully_anonymous(self, certain_square):
+        assert k_degree_anonymity(certain_square) == 4
+
+    def test_star_center_breaks_anonymity(self):
+        star = UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
+        assert k_degree_anonymity(star) == 1
+
+    def test_epsilon_skips_outlier(self):
+        star = UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
+        assert k_degree_anonymity(star, epsilon=0.25) == 4
+
+    def test_empty_graph(self):
+        assert k_degree_anonymity(UncertainGraph(0)) == 0
+
+    def test_epsilon_validated(self, certain_square):
+        with pytest.raises(EstimationError):
+            k_degree_anonymity(certain_square, epsilon=1.0)
+
+    def test_anonymization_does_not_reduce_k_anonymity_much(self):
+        """The Chameleon output's expected-degree k-anonymity is at least
+        comparable to the original's (noise spreads degrees but targets
+        the unique ones)."""
+        import repro
+
+        g = repro.load_dataset("ppi", scale=0.25, seed=11)
+        result = repro.anonymize(g, k=5, epsilon=0.05, seed=0, n_trials=2,
+                                 relevance_samples=100,
+                                 sigma_tolerance=0.05)
+        before = k_degree_anonymity(g, epsilon=0.05)
+        after = k_degree_anonymity(result.graph, epsilon=0.05)
+        assert after >= max(1, before // 3)
+
+
+class TestSequenceDistance:
+    def test_zero_for_identical(self, triangle):
+        assert degree_sequence_distance(triangle, triangle) == 0.0
+
+    def test_label_free(self, path4):
+        from repro.ugraph import relabel
+
+        permuted = relabel(path4, [3, 2, 1, 0])
+        assert degree_sequence_distance(path4, permuted) == pytest.approx(0.0)
+
+    def test_scaling_probabilities_moves_distance(self, triangle):
+        halved = triangle.with_probabilities(
+            triangle.edge_probabilities * 0.5
+        )
+        # total degree mass halves: sum|diff| = 1.6, per vertex /3
+        assert degree_sequence_distance(triangle, halved) == pytest.approx(
+            1.6 / 3
+        )
+
+    def test_vertex_count_checked(self):
+        with pytest.raises(EstimationError):
+            degree_sequence_distance(UncertainGraph(2), UncertainGraph(3))

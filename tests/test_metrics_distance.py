@@ -1,0 +1,61 @@
+"""Distance metric tests (uncertain-graph expectations)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.metrics import average_distance, distance_statistics, effective_diameter
+from repro.ugraph import UncertainGraph
+
+
+def test_certain_path_exact_bfs(certain_square):
+    stats = distance_statistics(certain_square, n_samples=5, method="bfs", seed=0)
+    # 4-cycle: distances 1 (x4 pairs) and 2 (x2) => mean 8/6
+    assert stats.average_distance == pytest.approx(8 / 6)
+    assert stats.diameter == 2
+
+
+def test_uncertain_single_edge_distance():
+    g = UncertainGraph(2, [(0, 1, 0.5)])
+    stats = distance_statistics(g, n_samples=2000, method="bfs", seed=1)
+    # Connected worlds all have distance exactly 1.
+    assert stats.average_distance == pytest.approx(1.0)
+
+
+def test_expected_distance_between_series_and_parallel():
+    """Removing probability mass from shortcuts lengthens distances."""
+    base = UncertainGraph(4, [(0, 1, 0.9), (1, 2, 0.9), (2, 3, 0.9), (0, 3, 0.9)])
+    chordless = base.with_probabilities(np.array([0.9, 0.9, 0.9, 0.05]))
+    d_base = average_distance(base, n_samples=1500, method="bfs", seed=2)
+    d_chordless = average_distance(chordless, n_samples=1500, method="bfs", seed=2)
+    assert d_chordless > d_base
+
+
+def test_anf_matches_bfs_on_profile_graph(small_profile_graph):
+    bfs = distance_statistics(small_profile_graph, n_samples=40,
+                              method="bfs", seed=3)
+    anf = distance_statistics(small_profile_graph, n_samples=40,
+                              method="anf", seed=3)
+    assert anf.average_distance == pytest.approx(bfs.average_distance, rel=0.25)
+
+
+def test_effective_diameter_below_diameter(small_profile_graph):
+    stats = distance_statistics(small_profile_graph, n_samples=30,
+                                method="bfs", seed=4)
+    assert stats.effective_diameter <= stats.diameter + 1e-9
+
+
+def test_unknown_method_rejected(triangle):
+    with pytest.raises(EstimationError):
+        distance_statistics(triangle, method="teleport")
+
+
+def test_all_zero_probability_graph():
+    g = UncertainGraph(4, [(0, 1, 0.0)])
+    stats = distance_statistics(g, n_samples=10, method="bfs", seed=5)
+    assert np.isnan(stats.average_distance)
+
+
+def test_effective_diameter_convenience(certain_square):
+    value = effective_diameter(certain_square, n_samples=5, method="bfs", seed=6)
+    assert 1.0 <= value <= 2.0

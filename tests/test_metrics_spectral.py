@@ -1,0 +1,97 @@
+"""Spectral metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.metrics import (
+    expected_adjacency_spectrum,
+    expected_laplacian_spectrum,
+    spectral_distance,
+)
+from repro.ugraph import UncertainGraph
+
+
+def dense_spectrum(graph):
+    """Reference: full eigendecomposition of the probability matrix."""
+    n = graph.n_nodes
+    m = np.zeros((n, n))
+    for u, v, p in (e.as_tuple() for e in graph.edges()):
+        m[u, v] = m[v, u] = p
+    return np.linalg.eigvalsh(m)
+
+
+class TestAdjacencySpectrum:
+    def test_matches_dense_reference(self, small_profile_graph):
+        sparse = expected_adjacency_spectrum(small_profile_graph, k=4)
+        dense = dense_spectrum(small_profile_graph)
+        dense_top = dense[np.argsort(-np.abs(dense))][:4]
+        np.testing.assert_allclose(
+            np.sort(np.abs(sparse)), np.sort(np.abs(dense_top)), rtol=1e-6
+        )
+
+    def test_certain_cycle_known_spectrum(self, certain_square):
+        # 4-cycle adjacency eigenvalues: 2, 0, 0, -2; top-2 magnitude.
+        values = expected_adjacency_spectrum(certain_square, k=2)
+        np.testing.assert_allclose(
+            np.sort(np.abs(values)), [2.0, 2.0], atol=1e-8
+        )
+
+    def test_probability_scales_spectrum(self, certain_square):
+        half = certain_square.with_probabilities(np.full(4, 0.5))
+        full_top = expected_adjacency_spectrum(certain_square, k=1)[0]
+        half_top = expected_adjacency_spectrum(half, k=1)[0]
+        assert abs(half_top) == pytest.approx(abs(full_top) / 2, rel=1e-6)
+
+    def test_k_capped(self, triangle):
+        values = expected_adjacency_spectrum(triangle, k=10)
+        assert values.shape[0] == 2  # n - 1
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(EstimationError):
+            expected_adjacency_spectrum(UncertainGraph(1))
+
+
+class TestLaplacianSpectrum:
+    def test_zero_eigenvalue_present(self, certain_square):
+        values = expected_laplacian_spectrum(certain_square, k=2)
+        assert values[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_connectivity_orders_fiedler_value(self):
+        weak = UncertainGraph(4, [(0, 1, 1.0), (1, 2, 0.1), (2, 3, 1.0)])
+        strong = weak.with_probabilities(np.array([1.0, 0.9, 1.0]))
+        weak_fiedler = expected_laplacian_spectrum(weak, k=2)[1]
+        strong_fiedler = expected_laplacian_spectrum(strong, k=2)[1]
+        assert strong_fiedler > weak_fiedler
+
+
+class TestSpectralDistance:
+    def test_zero_for_identical(self, small_profile_graph):
+        assert spectral_distance(
+            small_profile_graph, small_profile_graph
+        ) == pytest.approx(0.0, abs=1e-8)
+
+    def test_positive_for_perturbed(self, small_profile_graph):
+        flattened = small_profile_graph.with_probabilities(
+            np.full(small_profile_graph.n_edges, 0.5)
+        )
+        assert spectral_distance(small_profile_graph, flattened) > 0.01
+
+    def test_vertex_count_checked(self):
+        with pytest.raises(EstimationError):
+            spectral_distance(
+                UncertainGraph(3, [(0, 1, 0.5)]),
+                UncertainGraph(4, [(0, 1, 0.5)]),
+            )
+
+    def test_chameleon_moves_spectrum_less_than_repan(self):
+        import repro
+
+        g = repro.load_dataset("ppi", scale=0.25, seed=13)
+        fast = dict(n_trials=2, relevance_samples=100, sigma_tolerance=0.05)
+        rsme = repro.anonymize(g, k=5, epsilon=0.05, seed=1, **fast)
+        repan = repro.rep_an(g, 5, 0.05, seed=1, **fast)
+        assert rsme.success and repan.success
+        assert spectral_distance(g, rsme.graph) < spectral_distance(
+            g, repan.graph
+        )

@@ -1,0 +1,93 @@
+"""Comparison-suite tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.metrics import DEFAULT_METRICS, compare_graphs
+
+
+def test_identical_graphs_have_small_errors(small_profile_graph):
+    result = compare_graphs(
+        small_profile_graph, small_profile_graph,
+        metrics=("average_degree", "reliability"),
+        n_samples=200, seed=0,
+    )
+    assert result["average_degree"].relative_error == 0.0
+    assert result["reliability"].relative_error == pytest.approx(0.0, abs=1e-9)
+
+
+def test_all_default_metrics_present(small_profile_graph):
+    result = compare_graphs(
+        small_profile_graph, small_profile_graph, n_samples=30, seed=1,
+        distance_method="bfs",
+    )
+    assert set(result) == set(DEFAULT_METRICS)
+
+
+def test_rows_expose_values(small_profile_graph):
+    result = compare_graphs(
+        small_profile_graph, small_profile_graph,
+        metrics=("average_degree",), seed=2,
+    )
+    row = result["average_degree"].row()
+    assert row[0] == "average_degree"
+    assert row[1] == row[2]
+
+
+def test_degraded_graph_registers_error(small_profile_graph):
+    halved = small_profile_graph.with_probabilities(
+        small_profile_graph.edge_probabilities * 0.5
+    )
+    result = compare_graphs(
+        small_profile_graph, halved,
+        metrics=("average_degree", "reliability"),
+        n_samples=200, seed=3,
+    )
+    assert result["average_degree"].relative_error == pytest.approx(0.5)
+    assert result["reliability"].relative_error > 0.0
+
+
+def test_unknown_metric_rejected(small_profile_graph):
+    with pytest.raises(EstimationError):
+        compare_graphs(small_profile_graph, small_profile_graph,
+                       metrics=("pagerank",))
+
+
+def test_subset_of_metrics_only_computes_requested(small_profile_graph):
+    result = compare_graphs(
+        small_profile_graph, small_profile_graph,
+        metrics=("clustering_coefficient",), n_samples=20, seed=4,
+    )
+    assert list(result) == ["clustering_coefficient"]
+
+
+def test_extended_metrics_available(small_profile_graph):
+    from repro.metrics import EXTENDED_METRICS
+
+    result = compare_graphs(
+        small_profile_graph, small_profile_graph,
+        metrics=EXTENDED_METRICS, n_samples=30, seed=5,
+    )
+    assert set(result) == set(EXTENDED_METRICS)
+    assert result["degree_distribution"].relative_error == pytest.approx(
+        0.0, abs=1e-9
+    )
+    assert result["spectral"].relative_error == pytest.approx(0.0, abs=1e-8)
+    assert result["largest_component"].relative_error == pytest.approx(
+        0.0, abs=1e-9
+    )
+
+
+def test_extended_metrics_detect_perturbation(small_profile_graph):
+    import numpy as np
+
+    flattened = small_profile_graph.with_probabilities(
+        np.full(small_profile_graph.n_edges, 0.5)
+    )
+    result = compare_graphs(
+        small_profile_graph, flattened,
+        metrics=("degree_distribution", "spectral"), n_samples=20, seed=6,
+    )
+    assert result["degree_distribution"].relative_error > 0.0
+    assert result["spectral"].relative_error > 0.0

@@ -1,0 +1,124 @@
+"""(k, epsilon)-obfuscation criterion tests (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ObfuscationError
+from repro.privacy import (
+    check_obfuscation,
+    column_entropy_profile,
+    degree_uncertainty_matrix,
+    shannon_entropy,
+)
+from repro.ugraph import UncertainGraph
+
+
+@pytest.fixture
+def uniform_uncertain():
+    """5 vertices in a cycle, all edges at p = 0.5: maximal symmetry."""
+    edges = [(i, (i + 1) % 5, 0.5) for i in range(5)]
+    return UncertainGraph(5, edges)
+
+
+class TestColumnProfile:
+    def test_matches_manual_column_entropy(self, uniform_uncertain):
+        matrix = degree_uncertainty_matrix(uniform_uncertain)
+        profile = column_entropy_profile(uniform_uncertain)
+        for w in range(matrix.shape[1]):
+            assert profile[w] == pytest.approx(shannon_entropy(matrix[:, w]))
+
+    def test_symmetric_graph_profile_is_log_n(self, uniform_uncertain):
+        """All vertices identical: every occupied column has entropy log2 5."""
+        profile = column_entropy_profile(uniform_uncertain)
+        finite = profile[np.isfinite(profile)]
+        np.testing.assert_allclose(finite, np.log2(5), atol=1e-9)
+
+
+class TestCheckObfuscation:
+    def test_symmetric_graph_obfuscates_everyone(self, uniform_uncertain):
+        report = check_obfuscation(uniform_uncertain, k=5, epsilon=0.0)
+        assert report.satisfied
+        assert report.n_obfuscated == 5
+        assert report.epsilon_achieved == 0.0
+
+    def test_k_monotonicity(self, uniform_uncertain):
+        """k2-obf implies k1-obf for k1 <= k2."""
+        strong = check_obfuscation(uniform_uncertain, k=5, epsilon=0.0)
+        weak = check_obfuscation(uniform_uncertain, k=2, epsilon=0.0)
+        assert strong.satisfied
+        assert weak.satisfied
+        assert (weak.obfuscated >= strong.obfuscated).all()
+
+    def test_deterministic_graph_fails(self, certain_square):
+        """A deterministic regular graph: Y concentrates but stays uniform
+        over the 4 identical vertices -- k=4 passes, k>4 cannot."""
+        ok = check_obfuscation(certain_square, k=4, epsilon=0.0)
+        assert ok.satisfied
+        too_strong = check_obfuscation(certain_square, k=5, epsilon=0.0)
+        assert not too_strong.satisfied
+
+    def test_unique_degree_vertex_not_obfuscated(self):
+        """A deterministic star: the center's degree is unique, entropy 0."""
+        star = UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
+        report = check_obfuscation(star, k=2, epsilon=0.0)
+        assert not report.obfuscated[0]
+        assert not report.satisfied
+        # But with epsilon allowing one skipped vertex it passes.
+        relaxed = check_obfuscation(star, k=2, epsilon=0.25)
+        assert relaxed.satisfied
+
+    def test_knowledge_without_support_counts_as_obfuscated(self, uniform_uncertain):
+        """Adversary knows degree 50; no vertex can have it: empty
+        candidate set, treated as obfuscated."""
+        knowledge = np.full(5, 50, dtype=np.int64)
+        report = check_obfuscation(uniform_uncertain, k=5, epsilon=0.0,
+                                   knowledge=knowledge)
+        assert report.satisfied
+        assert np.isinf(report.entropies).all()
+
+    def test_explicit_knowledge_shape_checked(self, uniform_uncertain):
+        with pytest.raises(ObfuscationError):
+            check_obfuscation(uniform_uncertain, k=2, epsilon=0.1,
+                              knowledge=np.array([1, 2]))
+
+    def test_negative_knowledge_rejected(self, uniform_uncertain):
+        with pytest.raises(ObfuscationError):
+            check_obfuscation(uniform_uncertain, k=2, epsilon=0.1,
+                              knowledge=np.full(5, -1))
+
+    def test_invalid_k_rejected(self, uniform_uncertain):
+        with pytest.raises(ObfuscationError):
+            check_obfuscation(uniform_uncertain, k=0, epsilon=0.1)
+
+    def test_invalid_epsilon_rejected(self, uniform_uncertain):
+        with pytest.raises(ObfuscationError):
+            check_obfuscation(uniform_uncertain, k=2, epsilon=1.0)
+
+    def test_worst_vertices_ordering(self):
+        star = UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
+        report = check_obfuscation(star, k=2, epsilon=0.0)
+        assert report.worst_vertices(1)[0] == 0
+
+    def test_epsilon_achieved_fraction(self):
+        star = UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
+        report = check_obfuscation(star, k=2, epsilon=0.5)
+        assert report.epsilon_achieved == pytest.approx(0.2)
+
+
+class TestNoiseIncreasesAnonymity:
+    def test_probability_noise_raises_entropy(self):
+        """Moving probabilities toward 1/2 increases obfuscation entropy --
+        the mechanism Lemma 6 relies on."""
+        crisp = UncertainGraph(6, [(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0),
+                                   (1, 2, 0.9), (3, 4, 0.95)])
+        knowledge = np.ones(6, dtype=np.int64)
+        fuzzy = crisp.with_probabilities(
+            0.5 * np.ones(crisp.n_edges)
+        )
+        report_crisp = check_obfuscation(crisp, k=3, epsilon=0.0,
+                                         knowledge=knowledge)
+        report_fuzzy = check_obfuscation(fuzzy, k=3, epsilon=0.0,
+                                         knowledge=knowledge)
+        assert (
+            report_fuzzy.entropies.mean() >= report_crisp.entropies.mean()
+        )

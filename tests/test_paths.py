@@ -1,0 +1,116 @@
+"""Path queries over uncertain graphs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.ugraph import (
+    UncertainGraph,
+    distance_constrained_reachability,
+    expected_hop_distance,
+    most_probable_path,
+)
+
+
+@pytest.fixture
+def diamond():
+    """0-1-3 (strong) and 0-2-3 (weak) plus weak chord 0-3."""
+    return UncertainGraph(
+        4,
+        [(0, 1, 0.9), (1, 3, 0.8), (0, 2, 0.4), (2, 3, 0.4), (0, 3, 0.1)],
+    )
+
+
+class TestMostProbablePath:
+    def test_picks_strong_branch(self, diamond):
+        path, prob = most_probable_path(diamond, 0, 3)
+        assert path == [0, 1, 3]
+        assert prob == pytest.approx(0.72)
+
+    def test_direct_edge_can_lose_to_detour(self, diamond):
+        # 0.1 direct < 0.72 via vertex 1: the detour wins.
+        path, __ = most_probable_path(diamond, 0, 3)
+        assert len(path) == 3
+
+    def test_source_equals_target(self, diamond):
+        assert most_probable_path(diamond, 2, 2) == ([2], 1.0)
+
+    def test_unreachable(self):
+        g = UncertainGraph(4, [(0, 1, 0.5)])
+        assert most_probable_path(g, 0, 3) == ([], 0.0)
+
+    def test_zero_probability_edges_unusable(self):
+        g = UncertainGraph(3, [(0, 1, 0.0), (1, 2, 0.9)])
+        assert most_probable_path(g, 0, 2) == ([], 0.0)
+
+    def test_path_probability_lower_bounds_reliability(self, diamond):
+        from repro.reliability import exact_two_terminal
+
+        __, prob = most_probable_path(diamond, 0, 3)
+        assert prob <= exact_two_terminal(diamond, 0, 3) + 1e-12
+
+    def test_invalid_vertices(self, diamond):
+        with pytest.raises(EstimationError):
+            most_probable_path(diamond, 0, 9)
+
+
+class TestDistanceConstrainedReachability:
+    def test_zero_hops(self, diamond):
+        assert distance_constrained_reachability(
+            diamond, 0, 3, 0, n_samples=100, seed=0
+        ) == 0.0
+        assert distance_constrained_reachability(
+            diamond, 1, 1, 0, n_samples=10, seed=0
+        ) == 1.0
+
+    def test_one_hop_is_edge_probability(self, diamond):
+        value = distance_constrained_reachability(
+            diamond, 0, 3, 1, n_samples=30_000, seed=1
+        )
+        assert value == pytest.approx(0.1, abs=0.01)
+
+    def test_monotone_in_hops(self, diamond):
+        values = [
+            distance_constrained_reachability(
+                diamond, 0, 3, h, n_samples=4000, seed=2
+            )
+            for h in (1, 2, 3)
+        ]
+        assert values[0] <= values[1] + 0.02
+        assert values[1] <= values[2] + 0.02
+
+    def test_unbounded_hops_approach_reliability(self, diamond):
+        from repro.reliability import exact_two_terminal
+
+        value = distance_constrained_reachability(
+            diamond, 0, 3, diamond.n_nodes, n_samples=30_000, seed=3
+        )
+        assert value == pytest.approx(
+            exact_two_terminal(diamond, 0, 3), abs=0.01
+        )
+
+    def test_negative_hops_rejected(self, diamond):
+        with pytest.raises(EstimationError):
+            distance_constrained_reachability(diamond, 0, 3, -1)
+
+
+class TestExpectedHopDistance:
+    def test_certain_path(self):
+        g = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert expected_hop_distance(g, 0, 2, n_samples=20, seed=4) == 2.0
+
+    def test_self_distance_zero(self, diamond):
+        assert expected_hop_distance(diamond, 1, 1, n_samples=10) == 0.0
+
+    def test_never_connected_is_nan(self):
+        g = UncertainGraph(3, [(0, 1, 0.0)])
+        assert np.isnan(expected_hop_distance(g, 0, 2, n_samples=50, seed=5))
+
+    def test_shortcut_shortens_expectation(self):
+        without = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        with_chord = UncertainGraph(
+            3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.5)]
+        )
+        d_without = expected_hop_distance(without, 0, 2, n_samples=50, seed=6)
+        d_with = expected_hop_distance(with_chord, 0, 2, n_samples=4000, seed=6)
+        assert d_with < d_without

@@ -1,0 +1,120 @@
+"""Simulated link-predictor dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PredictorModel,
+    prediction_auc,
+    simulate_predicted_graph,
+)
+from repro.exceptions import ConfigurationError
+from repro.ugraph import UncertainGraph
+
+
+@pytest.fixture
+def truth():
+    rng = np.random.default_rng(0)
+    edges = set()
+    while len(edges) < 60:
+        u, v = rng.integers(0, 40, 2)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return UncertainGraph(40, [(u, v, 1.0) for u, v in sorted(edges)])
+
+
+class TestSimulation:
+    def test_all_true_edges_scored(self, truth):
+        predicted, labels = simulate_predicted_graph(truth, seed=1)
+        for u, v in truth.endpoint_pairs():
+            assert labels[(u, v)] is True
+            assert predicted.has_edge(u, v)
+
+    def test_candidate_ratio_controls_false_edges(self, truth):
+        model = PredictorModel(candidate_ratio=2.0)
+        __, labels = simulate_predicted_graph(truth, model=model, seed=2)
+        n_false = sum(1 for real in labels.values() if not real)
+        assert n_false == 2 * truth.n_edges
+
+    def test_zero_candidate_ratio(self, truth):
+        model = PredictorModel(candidate_ratio=0.0)
+        predicted, labels = simulate_predicted_graph(truth, model=model, seed=3)
+        assert all(labels.values())
+        assert predicted.n_edges == truth.n_edges
+
+    def test_true_scores_higher_on_average(self, truth):
+        predicted, labels = simulate_predicted_graph(truth, seed=4)
+        true_scores = [predicted.probability(*p) for p, r in labels.items() if r]
+        false_scores = [predicted.probability(*p) for p, r in labels.items() if not r]
+        assert np.mean(true_scores) > np.mean(false_scores) + 0.2
+
+    def test_probabilities_strictly_inside_unit_interval(self, truth):
+        predicted, __ = simulate_predicted_graph(truth, seed=5)
+        p = predicted.edge_probabilities
+        assert p.min() > 0.0 and p.max() < 1.0
+
+    def test_reproducible(self, truth):
+        a, la = simulate_predicted_graph(truth, seed=6)
+        b, lb = simulate_predicted_graph(truth, seed=6)
+        assert a == b and la == lb
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            PredictorModel(true_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            PredictorModel(candidate_ratio=-1.0)
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        g = UncertainGraph(4, [(0, 1, 0.9), (2, 3, 0.1)])
+        labels = {(0, 1): True, (2, 3): False}
+        assert prediction_auc(g, labels) == 1.0
+
+    def test_reversed_separation(self):
+        g = UncertainGraph(4, [(0, 1, 0.1), (2, 3, 0.9)])
+        labels = {(0, 1): True, (2, 3): False}
+        assert prediction_auc(g, labels) == 0.0
+
+    def test_ties_give_half(self):
+        g = UncertainGraph(4, [(0, 1, 0.5), (2, 3, 0.5)])
+        labels = {(0, 1): True, (2, 3): False}
+        assert prediction_auc(g, labels) == 0.5
+
+    def test_decent_predictor_has_high_auc(self, truth):
+        predicted, labels = simulate_predicted_graph(truth, seed=7)
+        assert prediction_auc(predicted, labels) > 0.85
+
+    def test_needs_both_classes(self):
+        g = UncertainGraph(2, [(0, 1, 0.5)])
+        with pytest.raises(ConfigurationError):
+            prediction_auc(g, {(0, 1): True})
+
+    def test_matches_scipy_ranksum_formulation(self, truth):
+        from scipy.stats import rankdata
+
+        predicted, labels = simulate_predicted_graph(truth, seed=8)
+        pairs = list(labels)
+        scores = np.array([predicted.probability(*p) for p in pairs])
+        y = np.array([labels[p] for p in pairs])
+        ranks = rankdata(scores)
+        n_pos, n_neg = int(y.sum()), int((~y).sum())
+        expected = (ranks[y].sum() - n_pos * (n_pos + 1) / 2) / (n_pos * n_neg)
+        assert prediction_auc(predicted, labels) == pytest.approx(expected)
+
+
+class TestAnonymizationPreservesPredictionUtility:
+    def test_auc_survives_chameleon(self, truth):
+        """Task-level utility: link-prediction AUC of the anonymized
+        release stays close to the original's."""
+        import repro
+
+        predicted, labels = simulate_predicted_graph(truth, seed=9)
+        base_auc = prediction_auc(predicted, labels)
+        result = repro.anonymize(
+            predicted, k=4, epsilon=0.1, seed=10,
+            n_trials=2, relevance_samples=100, sigma_tolerance=0.05,
+        )
+        assert result.success
+        anon_auc = prediction_auc(result.graph, labels)
+        assert anon_auc > base_auc - 0.2

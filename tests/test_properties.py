@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for core data structures & invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import apply_max_entropy, apply_naive
+from repro.privacy import (
+    poisson_binomial_moments,
+    poisson_binomial_pmf,
+    shannon_entropy,
+    uniqueness_scores,
+)
+from repro.reliability import (
+    UnionFind,
+    exact_edge_reliability_relevance,
+    exact_expected_connected_pairs,
+    exact_pairwise_reliability,
+)
+from repro.ugraph import UncertainGraph, probability_l1_distance
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+
+probabilities = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def small_uncertain_graphs(draw, max_nodes=7, max_edges=10):
+    """Random uncertain graphs small enough for exact enumeration."""
+    n = draw(st.integers(2, max_nodes))
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    k = draw(st.integers(1, min(max_edges, len(all_pairs))))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(all_pairs) - 1),
+            min_size=k, max_size=k, unique=True,
+        )
+    )
+    probs = draw(st.lists(probabilities, min_size=k, max_size=k))
+    triples = [(*all_pairs[i], p) for i, p in zip(indices, probs)]
+    return UncertainGraph(n, triples)
+
+
+# ---------------------------------------------------------------------- #
+# Perturbation rules
+# ---------------------------------------------------------------------- #
+
+@given(
+    st.lists(probabilities, min_size=1, max_size=30),
+    st.lists(probabilities, min_size=1, max_size=30),
+)
+def test_max_entropy_stays_in_unit_interval_and_contracts(ps, rs):
+    size = min(len(ps), len(rs))
+    p = np.asarray(ps[:size])
+    r = np.asarray(rs[:size])
+    out = apply_max_entropy(p, r)
+    assert (out >= 0).all() and (out <= 1).all()
+    # Never moves away from 1/2 (the entropy-maximizing probability).
+    assert (np.abs(out - 0.5) <= np.abs(p - 0.5) + 1e-12).all()
+
+
+@given(
+    st.lists(probabilities, min_size=1, max_size=30),
+    st.lists(probabilities, min_size=1, max_size=30),
+    st.integers(0, 2**31 - 1),
+)
+def test_naive_rule_stays_in_unit_interval(ps, rs, seed):
+    size = min(len(ps), len(rs))
+    out = apply_naive(np.asarray(ps[:size]), np.asarray(rs[:size]), seed=seed)
+    assert (out >= 0).all() and (out <= 1).all()
+
+
+# ---------------------------------------------------------------------- #
+# Poisson binomial
+# ---------------------------------------------------------------------- #
+
+@given(st.lists(probabilities, min_size=0, max_size=12))
+def test_poisson_binomial_is_distribution(ps):
+    pmf = poisson_binomial_pmf(np.asarray(ps))
+    assert pmf.shape == (len(ps) + 1,)
+    assert (pmf >= -1e-12).all()
+    assert pmf.sum() == pytest.approx(1.0)
+
+
+@given(st.lists(probabilities, min_size=1, max_size=12))
+def test_poisson_binomial_moments_consistent(ps):
+    p = np.asarray(ps)
+    pmf = poisson_binomial_pmf(p)
+    support = np.arange(pmf.shape[0])
+    mean, var = poisson_binomial_moments(p)
+    assert (support * pmf).sum() == pytest.approx(mean, abs=1e-9)
+    assert ((support - mean) ** 2 * pmf).sum() == pytest.approx(var, abs=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# Entropy and uniqueness
+# ---------------------------------------------------------------------- #
+
+@given(st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=50))
+def test_entropy_bounds(ws):
+    h = shannon_entropy(np.asarray(ws))
+    assert -1e-9 <= h <= np.log2(len(ws)) + 1e-9
+
+
+@given(
+    st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=2, max_size=40),
+    st.floats(0.1, 5.0, allow_nan=False),
+)
+def test_uniqueness_scores_positive_and_finite(values, theta):
+    scores = uniqueness_scores(np.asarray(values), theta=theta)
+    assert np.isfinite(scores).all()
+    assert (scores > 0).all()
+
+
+# ---------------------------------------------------------------------- #
+# Union-find
+# ---------------------------------------------------------------------- #
+
+@given(
+    st.integers(1, 30),
+    st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_union_find_counts_consistent(n, unions):
+    uf = UnionFind(n)
+    for a, b in unions:
+        if a < n and b < n and a != b:
+            uf.union(a, b)
+    labels = uf.labels()
+    assert uf.n_components == len(set(labels.tolist()))
+    sizes = {}
+    for lab in labels.tolist():
+        sizes[lab] = sizes.get(lab, 0) + 1
+    expected_pairs = sum(s * (s - 1) // 2 for s in sizes.values())
+    assert uf.connected_pair_count() == expected_pairs
+
+
+# ---------------------------------------------------------------------- #
+# Reliability invariants (exact oracle on random small graphs)
+# ---------------------------------------------------------------------- #
+
+@settings(max_examples=25, deadline=None)
+@given(small_uncertain_graphs())
+def test_reliability_matrix_is_symmetric_probability(graph):
+    matrix = exact_pairwise_reliability(graph)
+    assert (matrix >= -1e-12).all() and (matrix <= 1 + 1e-12).all()
+    np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_uncertain_graphs())
+def test_err_non_negative_everywhere(graph):
+    err = exact_edge_reliability_relevance(graph)
+    assert (err >= -1e-9).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_uncertain_graphs(), st.floats(0.0, 1.0))
+def test_raising_probabilities_raises_connectivity(graph, factor):
+    """Monotonicity: scaling probabilities toward 1 cannot reduce the
+    expected number of connected pairs."""
+    boosted = graph.with_probabilities(
+        graph.edge_probabilities + factor * (1.0 - graph.edge_probabilities)
+    )
+    assert (
+        exact_expected_connected_pairs(boosted)
+        >= exact_expected_connected_pairs(graph) - 1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_uncertain_graphs())
+def test_l1_distance_is_a_metric_on_probabilities(graph):
+    perturbed = graph.with_probabilities(
+        np.clip(graph.edge_probabilities + 0.1, 0, 1)
+    )
+    d1 = probability_l1_distance(graph, perturbed)
+    d2 = probability_l1_distance(perturbed, graph)
+    assert d1 == pytest.approx(d2)
+    assert probability_l1_distance(graph, graph) == 0.0
+    assert d1 >= 0.0

@@ -1,0 +1,123 @@
+"""Generic vertex-property obfuscation framework."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ObfuscationError
+from repro.privacy import (
+    ComponentSizeProperty,
+    DegreeProperty,
+    NeighborhoodDegreeProperty,
+    check_obfuscation,
+    check_obfuscation_for_property,
+    degree_uncertainty_matrix,
+)
+from repro.ugraph import UncertainGraph
+
+
+@pytest.fixture
+def cycle5():
+    return UncertainGraph(5, [(i, (i + 1) % 5, 0.5) for i in range(5)])
+
+
+class TestDegreeProperty:
+    def test_matrix_matches_specialized_path(self, small_profile_graph):
+        prop = DegreeProperty()
+        np.testing.assert_allclose(
+            prop.distribution_matrix(small_profile_graph),
+            degree_uncertainty_matrix(small_profile_graph),
+        )
+
+    def test_generic_check_agrees_with_specialized(self, small_profile_graph):
+        generic = check_obfuscation_for_property(
+            small_profile_graph, 5, 0.05, DegreeProperty()
+        )
+        specialized = check_obfuscation(small_profile_graph, 5, 0.05)
+        np.testing.assert_array_equal(generic.obfuscated, specialized.obfuscated)
+        assert generic.epsilon_achieved == specialized.epsilon_achieved
+
+
+class TestSampledProperties:
+    def test_rows_are_distributions(self, cycle5):
+        for prop in (
+            NeighborhoodDegreeProperty(n_samples=300, seed=0),
+            ComponentSizeProperty(n_samples=300, seed=0),
+        ):
+            m = prop.distribution_matrix(cycle5)
+            np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_component_size_certain_graph(self, certain_square):
+        prop = ComponentSizeProperty(n_samples=50, seed=1)
+        m = prop.distribution_matrix(certain_square)
+        # Every vertex is always in the unique 4-component.
+        np.testing.assert_allclose(m[:, 4], 1.0)
+
+    def test_neighborhood_degree_certain_graph(self, certain_square):
+        prop = NeighborhoodDegreeProperty(n_samples=50, seed=2)
+        m = prop.distribution_matrix(certain_square)
+        # Cycle of 4: each vertex has degree 2, neighbors contribute 2+2,
+        # closed-neighborhood total = 6, always.
+        np.testing.assert_allclose(m[:, 6], 1.0)
+
+    def test_knowledge_is_mode(self, certain_square):
+        prop = ComponentSizeProperty(n_samples=50, seed=3)
+        np.testing.assert_array_equal(
+            prop.knowledge(certain_square), [4, 4, 4, 4]
+        )
+
+    def test_neighborhood_property_more_identifying(self):
+        """Two vertices with equal degree but different neighborhoods are
+        separated by the stronger property, not by plain degree."""
+        # Path 0-1-2-3-4 plus pendant 5 on vertex 1: vertices 0 and 4
+        # both have degree 1, but their neighbors' degrees differ.
+        g = UncertainGraph(
+            6,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (1, 5, 1.0)],
+        )
+        degree_prop = DegreeProperty()
+        nbr_prop = NeighborhoodDegreeProperty(n_samples=50, seed=4)
+        deg_knowledge = degree_prop.knowledge(g)
+        nbr_knowledge = nbr_prop.knowledge(g)
+        assert deg_knowledge[0] == deg_knowledge[4]
+        assert nbr_knowledge[0] != nbr_knowledge[4]
+
+
+class TestGenericCheck:
+    def test_symmetric_graph_passes(self, cycle5):
+        # k = 4 rather than 5: the sampled distribution matrix carries
+        # Monte-Carlo noise, so column entropies sit a hair below the
+        # exact log2(5) symmetry bound.
+        report = check_obfuscation_for_property(
+            cycle5, 4, 0.0, ComponentSizeProperty(n_samples=400, seed=5)
+        )
+        assert report.satisfied
+
+    def test_stronger_property_no_easier(self, small_profile_graph):
+        """Non-obfuscated fraction under the 2-hop adversary is at least
+        that under the plain degree adversary (in expectation)."""
+        degree = check_obfuscation_for_property(
+            small_profile_graph, 8, 0.0, DegreeProperty()
+        )
+        stronger = check_obfuscation_for_property(
+            small_profile_graph, 8, 0.0,
+            NeighborhoodDegreeProperty(n_samples=400, seed=6),
+        )
+        assert stronger.epsilon_achieved >= degree.epsilon_achieved - 0.05
+
+    def test_parameter_validation(self, cycle5):
+        with pytest.raises(ObfuscationError):
+            check_obfuscation_for_property(cycle5, 0, 0.1, DegreeProperty())
+        with pytest.raises(ObfuscationError):
+            check_obfuscation_for_property(cycle5, 2, 1.0, DegreeProperty())
+        with pytest.raises(ObfuscationError):
+            check_obfuscation_for_property(
+                cycle5, 2, 0.1, DegreeProperty(), knowledge=np.array([1, 2])
+            )
+
+    def test_explicit_knowledge_used(self, cycle5):
+        impossible = np.full(5, 40, dtype=np.int64)
+        report = check_obfuscation_for_property(
+            cycle5, 3, 0.0, DegreeProperty(), knowledge=impossible
+        )
+        assert report.satisfied  # empty candidate sets everywhere
+        assert np.isinf(report.entropies).all()

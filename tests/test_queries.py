@@ -1,0 +1,141 @@
+"""Reliability-based query algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.reliability import (
+    ReliabilityEstimator,
+    expected_reachable_set_size,
+    most_reliable_pairs,
+    reliability_histogram,
+    reliable_knn,
+    set_reliability,
+)
+from repro.ugraph import UncertainGraph
+
+
+@pytest.fixture
+def two_clusters():
+    """Two tight clusters (0-2, 3-5) linked by a weak bridge."""
+    strong = 0.95
+    return UncertainGraph(
+        6,
+        [
+            (0, 1, strong), (1, 2, strong), (0, 2, strong),
+            (3, 4, strong), (4, 5, strong), (3, 5, strong),
+            (2, 3, 0.2),
+        ],
+    )
+
+
+class TestReliableKnn:
+    def test_prefers_same_cluster(self, two_clusters):
+        neighbors = reliable_knn(two_clusters, 0, 2, n_samples=3000, seed=0)
+        assert {u for u, __ in neighbors} == {1, 2}
+
+    def test_ordering_and_k(self, two_clusters):
+        neighbors = reliable_knn(two_clusters, 0, 5, n_samples=2000, seed=1)
+        values = [r for __, r in neighbors]
+        assert values == sorted(values, reverse=True)
+        assert len(neighbors) == 5
+
+    def test_self_excluded(self, two_clusters):
+        neighbors = reliable_knn(two_clusters, 0, 5, n_samples=500, seed=2)
+        assert all(u != 0 for u, __ in neighbors)
+
+    def test_k_capped_by_graph_size(self, triangle):
+        neighbors = reliable_knn(triangle, 0, 99, n_samples=200, seed=3)
+        assert len(neighbors) == 2
+
+    def test_estimator_reuse(self, two_clusters):
+        est = ReliabilityEstimator(two_clusters, n_samples=500, seed=4)
+        a = reliable_knn(est, 0, 3)
+        b = reliable_knn(est, 0, 3)
+        assert a == b  # cached worlds -> deterministic
+
+    def test_invalid_vertex(self, triangle):
+        with pytest.raises(EstimationError):
+            reliable_knn(triangle, 9, 2, n_samples=10)
+
+    def test_invalid_k(self, triangle):
+        with pytest.raises(EstimationError):
+            reliable_knn(triangle, 0, 0, n_samples=10)
+
+
+class TestSetReliability:
+    def test_matches_exact_for_pair(self):
+        from repro.reliability import exact_two_terminal
+
+        g = UncertainGraph(3, [(0, 1, 0.6), (1, 2, 0.5)])
+        estimated = set_reliability(g, [0, 2], n_samples=30_000, seed=5)
+        assert estimated == pytest.approx(exact_two_terminal(g, 0, 2), abs=0.02)
+
+    def test_cluster_much_higher_than_cross(self, two_clusters):
+        within = set_reliability(two_clusters, [0, 1, 2], n_samples=3000, seed=6)
+        across = set_reliability(two_clusters, [0, 1, 5], n_samples=3000, seed=6)
+        assert within > across + 0.3
+
+    def test_singleton_and_empty_sets(self, triangle):
+        assert set_reliability(triangle, [1], n_samples=10) == 1.0
+        assert set_reliability(triangle, [], n_samples=10) == 1.0
+
+    def test_duplicates_ignored(self, triangle):
+        a = set_reliability(triangle, [0, 1, 1], n_samples=500, seed=7)
+        b = set_reliability(triangle, [0, 1], n_samples=500, seed=7)
+        assert a == b
+
+    def test_invalid_member(self, triangle):
+        with pytest.raises(EstimationError):
+            set_reliability(triangle, [0, 9], n_samples=10)
+
+
+class TestReachableSetSize:
+    def test_certain_connected_graph(self, certain_square):
+        assert expected_reachable_set_size(
+            certain_square, 0, n_samples=20, seed=8
+        ) == pytest.approx(4.0)
+
+    def test_isolated_vertex(self):
+        g = UncertainGraph(3, [(0, 1, 0.5)])
+        assert expected_reachable_set_size(g, 2, n_samples=50, seed=9) == 1.0
+
+    def test_matches_reliability_sum(self, two_clusters):
+        est = ReliabilityEstimator(two_clusters, n_samples=2000, seed=10)
+        reach = expected_reachable_set_size(est, 0)
+        manual = 1.0 + sum(est.two_terminal(0, v) for v in range(1, 6))
+        assert reach == pytest.approx(manual, abs=1e-9)
+
+    def test_invalid_vertex(self, triangle):
+        with pytest.raises(EstimationError):
+            expected_reachable_set_size(triangle, -1, n_samples=10)
+
+
+class TestHistogramAndTopPairs:
+    def test_histogram_normalized(self, small_profile_graph):
+        hist = reliability_histogram(
+            small_profile_graph, bins=10, n_pairs=2000, n_samples=200, seed=11
+        )
+        assert hist.shape == (10,)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_most_reliable_pairs_default_edges(self, two_clusters):
+        top = most_reliable_pairs(two_clusters, 3, n_samples=2000, seed=12)
+        assert len(top) == 3
+        # Intra-cluster edges dominate; the weak bridge never ranks first.
+        assert (2, 3) != (top[0][0], top[0][1])
+        values = [r for __, __, r in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_most_reliable_pairs_custom_candidates(self, two_clusters):
+        candidates = np.array([[0, 5], [0, 1]])
+        top = most_reliable_pairs(
+            two_clusters, 1, candidate_pairs=candidates,
+            n_samples=2000, seed=13,
+        )
+        assert (top[0][0], top[0][1]) == (0, 1)
+
+    def test_empty_candidates(self, triangle):
+        assert most_reliable_pairs(
+            triangle, 5, candidate_pairs=np.empty((0, 2)), n_samples=10
+        ) == []

@@ -1,0 +1,112 @@
+"""Reliability relevance (Algorithm 2) vs. the exact oracle."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.reliability import (
+    compute_relevance,
+    edge_reliability_relevance,
+    exact_edge_reliability_relevance,
+    vertex_reliability_relevance,
+)
+from repro.ugraph import UncertainGraph
+
+
+@pytest.mark.parametrize("method", ["grouped", "merge-gain"])
+class TestAgainstOracle:
+    def test_triangle_converges(self, triangle, method):
+        exact = exact_edge_reliability_relevance(triangle)
+        estimated = edge_reliability_relevance(
+            triangle, n_samples=20_000, seed=0, method=method
+        )
+        np.testing.assert_allclose(estimated, exact, atol=0.05)
+
+    def test_bridge_graph_ranking(self, bridge_graph, method):
+        """The bridge edge must rank first, as in Figure 5(a)."""
+        estimated = edge_reliability_relevance(
+            bridge_graph, n_samples=5000, seed=1, method=method
+        )
+        bridge_idx = bridge_graph.edge_id(2, 3)
+        assert np.argmax(estimated) == bridge_idx
+
+    def test_path_converges(self, path4, method):
+        exact = exact_edge_reliability_relevance(path4)
+        estimated = edge_reliability_relevance(
+            path4, n_samples=20_000, seed=2, method=method
+        )
+        np.testing.assert_allclose(estimated, exact, atol=0.06)
+
+
+class TestDegenerateProbabilities:
+    def test_certain_edge_handled(self):
+        """An edge with p == 1 has no absent samples; fallback must fire."""
+        g = UncertainGraph(3, [(0, 1, 1.0), (1, 2, 0.5)])
+        exact = exact_edge_reliability_relevance(g)
+        estimated = edge_reliability_relevance(g, n_samples=4000, seed=3)
+        np.testing.assert_allclose(estimated, exact, atol=0.06)
+
+    def test_impossible_edge_handled(self):
+        g = UncertainGraph(3, [(0, 1, 0.0), (1, 2, 0.5)])
+        exact = exact_edge_reliability_relevance(g)
+        estimated = edge_reliability_relevance(
+            g, n_samples=4000, seed=4, method="grouped"
+        )
+        np.testing.assert_allclose(estimated, exact, atol=0.06)
+
+
+class TestProperties:
+    def test_non_negative(self, small_profile_graph):
+        err = edge_reliability_relevance(
+            small_profile_graph, n_samples=300, seed=5
+        )
+        assert (err >= 0).all()
+
+    def test_empty_graph(self):
+        err = edge_reliability_relevance(UncertainGraph(4), n_samples=10)
+        assert err.shape == (0,)
+
+    def test_unknown_method_rejected(self, triangle):
+        with pytest.raises(EstimationError):
+            edge_reliability_relevance(triangle, method="magic")
+
+    def test_seeded_reproducibility(self, triangle):
+        a = edge_reliability_relevance(triangle, n_samples=500, seed=9)
+        b = edge_reliability_relevance(triangle, n_samples=500, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestVertexRelevance:
+    def test_weighted_aggregation(self, triangle):
+        err = np.array([1.0, 2.0, 4.0])  # edges (0,1), (1,2)?, (0,2)
+        vrr = vertex_reliability_relevance(triangle, err)
+        p = triangle.edge_probabilities
+        # vertex 0 touches edges (0,1) and (0,2)
+        e01 = triangle.edge_id(0, 1)
+        e02 = triangle.edge_id(0, 2)
+        e12 = triangle.edge_id(1, 2)
+        assert vrr[0] == pytest.approx(p[e01] * err[e01] + p[e02] * err[e02])
+        assert vrr[1] == pytest.approx(p[e01] * err[e01] + p[e12] * err[e12])
+
+    def test_shape_checked(self, triangle):
+        with pytest.raises(EstimationError):
+            vertex_reliability_relevance(triangle, np.array([1.0]))
+
+    def test_bridge_endpoints_score_high(self, bridge_graph):
+        result = compute_relevance(bridge_graph, n_samples=4000, seed=6)
+        vrr = result.vertex_relevance
+        # The bridge endpoints (2 and 3) carry the bridge's large ERR.
+        assert vrr[2] > vrr[0]
+        assert vrr[3] > vrr[5]
+
+    def test_normalized_relevance_in_unit_interval(self, bridge_graph):
+        result = compute_relevance(bridge_graph, n_samples=1000, seed=7)
+        normalized = result.normalized_vertex_relevance()
+        assert normalized.min() >= 0.0
+        assert normalized.max() == pytest.approx(1.0)
+
+    def test_normalized_relevance_all_zero(self):
+        result = compute_relevance(
+            UncertainGraph(3, [(0, 1, 0.0)]), n_samples=100, seed=8
+        )
+        assert (result.normalized_vertex_relevance() == 0).all()

@@ -1,0 +1,128 @@
+"""Monte-Carlo reliability estimator vs. the exact oracle."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.reliability import (
+    ReliabilityEstimator,
+    exact_expected_connected_pairs,
+    exact_pairwise_reliability,
+    exact_reliability_discrepancy,
+    exact_two_terminal,
+    reliability_discrepancy,
+    sample_vertex_pairs,
+)
+from repro.ugraph import UncertainGraph
+
+
+class TestEstimatorAgainstOracle:
+    def test_two_terminal_converges(self, triangle):
+        est = ReliabilityEstimator(triangle, n_samples=20_000, seed=0)
+        for u in range(3):
+            for v in range(u + 1, 3):
+                assert est.two_terminal(u, v) == pytest.approx(
+                    exact_two_terminal(triangle, u, v), abs=0.02
+                )
+
+    def test_expected_connected_pairs_converges(self, bridge_graph):
+        est = ReliabilityEstimator(bridge_graph, n_samples=20_000, seed=1)
+        assert est.expected_connected_pairs() == pytest.approx(
+            exact_expected_connected_pairs(bridge_graph), rel=0.03
+        )
+
+    def test_pairwise_matrix_converges(self, path4):
+        est = ReliabilityEstimator(path4, n_samples=20_000, seed=2)
+        np.testing.assert_allclose(
+            est.pairwise_reliability(),
+            exact_pairwise_reliability(path4),
+            atol=0.02,
+        )
+
+    def test_discrepancy_converges(self):
+        a = UncertainGraph(4, [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.7)])
+        b = UncertainGraph(4, [(0, 1, 0.4), (1, 2, 0.5), (2, 3, 0.9)])
+        exact_total = exact_reliability_discrepancy(a, b)
+        estimated = reliability_discrepancy(
+            a, b, n_samples=20_000, seed=3, per_pair=False
+        )
+        assert estimated == pytest.approx(exact_total, rel=0.1, abs=0.05)
+
+
+class TestEstimatorBehavior:
+    def test_self_pair_is_one(self, triangle):
+        est = ReliabilityEstimator(triangle, n_samples=10, seed=0)
+        assert est.two_terminal(2, 2) == 1.0
+
+    def test_out_of_range_pair_rejected(self, triangle):
+        est = ReliabilityEstimator(triangle, n_samples=10, seed=0)
+        with pytest.raises(EstimationError):
+            est.two_terminal(0, 9)
+
+    def test_invalid_sample_count(self, triangle):
+        with pytest.raises(EstimationError):
+            ReliabilityEstimator(triangle, n_samples=0)
+
+    def test_reliability_of_pairs_matches_two_terminal(self, path4):
+        est = ReliabilityEstimator(path4, n_samples=5000, seed=4)
+        pairs = np.array([[0, 1], [0, 3]])
+        vec = est.reliability_of_pairs(pairs)
+        assert vec[0] == pytest.approx(est.two_terminal(0, 1))
+        assert vec[1] == pytest.approx(est.two_terminal(0, 3))
+
+    def test_reliability_of_pairs_shape_checked(self, path4):
+        est = ReliabilityEstimator(path4, n_samples=10, seed=0)
+        with pytest.raises(EstimationError):
+            est.reliability_of_pairs(np.array([0, 1, 2]))
+
+    def test_average_all_pairs_reliability_bounds(self, small_profile_graph):
+        est = ReliabilityEstimator(small_profile_graph, n_samples=200, seed=5)
+        value = est.average_all_pairs_reliability()
+        assert 0.0 <= value <= 1.0
+
+    def test_deterministic_connected_graph(self, certain_square):
+        est = ReliabilityEstimator(certain_square, n_samples=50, seed=6)
+        assert est.average_all_pairs_reliability() == pytest.approx(1.0)
+
+    def test_seeded_reproducibility(self, triangle):
+        a = ReliabilityEstimator(triangle, n_samples=500, seed=7)
+        b = ReliabilityEstimator(triangle, n_samples=500, seed=7)
+        assert a.two_terminal(0, 2) == b.two_terminal(0, 2)
+
+
+class TestDiscrepancyFunction:
+    def test_zero_for_identical(self, bridge_graph):
+        value = reliability_discrepancy(
+            bridge_graph, bridge_graph, n_samples=200, seed=0
+        )
+        # Same seed drives both estimators: identical graphs sample
+        # identical worlds, so the paired discrepancy is exactly zero.
+        assert value == 0.0
+
+    def test_requires_matching_vertex_sets(self):
+        with pytest.raises(EstimationError):
+            reliability_discrepancy(UncertainGraph(2), UncertainGraph(3))
+
+    def test_pair_sampling_path(self, small_profile_graph):
+        value = reliability_discrepancy(
+            small_profile_graph,
+            small_profile_graph.with_probabilities(
+                np.clip(small_profile_graph.edge_probabilities * 0.5, 0, 1)
+            ),
+            n_samples=200,
+            n_pairs=500,
+            seed=1,
+        )
+        assert 0.0 <= value <= 1.0
+
+
+def test_sample_vertex_pairs_distinct_endpoints():
+    pairs = sample_vertex_pairs(10, 1000, seed=0)
+    assert pairs.shape == (1000, 2)
+    assert (pairs[:, 0] != pairs[:, 1]).all()
+    assert pairs.min() >= 0 and pairs.max() < 10
+
+
+def test_sample_vertex_pairs_needs_two_vertices():
+    with pytest.raises(EstimationError):
+        sample_vertex_pairs(1, 5)

@@ -1,0 +1,120 @@
+"""Unit tests for the exact reliability oracle (hand-computed references)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.reliability import (
+    enumerate_worlds,
+    exact_edge_reliability_relevance,
+    exact_expected_connected_pairs,
+    exact_pairwise_reliability,
+    exact_reliability_discrepancy,
+    exact_two_terminal,
+)
+from repro.ugraph import UncertainGraph
+
+
+def test_single_edge_reliability():
+    g = UncertainGraph(2, [(0, 1, 0.3)])
+    assert exact_two_terminal(g, 0, 1) == pytest.approx(0.3)
+
+
+def test_series_path_reliability():
+    """R(0,2) on a path is the product of edge probabilities."""
+    g = UncertainGraph(3, [(0, 1, 0.6), (1, 2, 0.5)])
+    assert exact_two_terminal(g, 0, 2) == pytest.approx(0.3)
+
+
+def test_parallel_edges_via_triangle():
+    """R(0,1) in a triangle: direct edge or the two-hop path."""
+    g = UncertainGraph(3, [(0, 1, 0.5), (1, 2, 0.8), (0, 2, 0.3)])
+    # 1 - (1 - 0.5) * (1 - 0.8 * 0.3) = 0.62
+    assert exact_two_terminal(g, 0, 1) == pytest.approx(0.62)
+
+
+def test_self_reliability_is_one(triangle):
+    assert exact_two_terminal(triangle, 1, 1) == 1.0
+
+
+def test_pairwise_matrix_symmetry(triangle):
+    matrix = exact_pairwise_reliability(triangle)
+    np.testing.assert_allclose(matrix, matrix.T)
+    np.testing.assert_allclose(np.diagonal(matrix), 1.0)
+
+
+def test_expected_connected_pairs_equals_matrix_sum(triangle):
+    matrix = exact_pairwise_reliability(triangle)
+    upper = np.triu(matrix, k=1).sum()
+    assert exact_expected_connected_pairs(triangle) == pytest.approx(upper)
+
+
+def test_expected_connected_pairs_certain(certain_square):
+    assert exact_expected_connected_pairs(certain_square) == pytest.approx(6.0)
+
+
+def test_world_probabilities_sum_to_one(triangle):
+    total = sum(prob for __, prob in enumerate_worlds(triangle))
+    assert total == pytest.approx(1.0)
+
+
+def test_zero_probability_worlds_skipped():
+    g = UncertainGraph(2, [(0, 1, 1.0)])
+    worlds = list(enumerate_worlds(g))
+    assert len(worlds) == 1
+    assert worlds[0][0][0]  # the edge is present
+
+
+def test_discrepancy_zero_for_identical(triangle):
+    assert exact_reliability_discrepancy(triangle, triangle) == pytest.approx(0.0)
+
+
+def test_discrepancy_single_edge_change():
+    a = UncertainGraph(2, [(0, 1, 0.3)])
+    b = UncertainGraph(2, [(0, 1, 0.8)])
+    assert exact_reliability_discrepancy(a, b) == pytest.approx(0.5)
+
+
+def test_discrepancy_requires_same_vertex_count():
+    with pytest.raises(EstimationError):
+        exact_reliability_discrepancy(UncertainGraph(2), UncertainGraph(3))
+
+
+def test_exact_err_single_edge():
+    """ERR of the only edge between two vertices is exactly 1 pair."""
+    g = UncertainGraph(2, [(0, 1, 0.4)])
+    err = exact_edge_reliability_relevance(g)
+    assert err[0] == pytest.approx(1.0)
+
+
+def test_exact_err_bridge_dominates(bridge_graph):
+    err = exact_edge_reliability_relevance(bridge_graph)
+    bridge_idx = bridge_graph.edge_id(2, 3)
+    for e in range(bridge_graph.n_edges):
+        if e != bridge_idx:
+            assert err[bridge_idx] > err[e]
+
+
+def test_exact_err_non_negative(triangle):
+    assert (exact_edge_reliability_relevance(triangle) >= 0).all()
+
+
+def test_factorization_lemma(triangle):
+    """R(G) = p(e) R(G_e) + (1-p(e)) R(G_ebar) for every edge and pair."""
+    base = exact_pairwise_reliability(triangle)
+    probabilities = triangle.edge_probabilities
+    for e in range(triangle.n_edges):
+        present = probabilities.copy()
+        present[e] = 1.0
+        absent = probabilities.copy()
+        absent[e] = 0.0
+        r_present = exact_pairwise_reliability(triangle.with_probabilities(present))
+        r_absent = exact_pairwise_reliability(triangle.with_probabilities(absent))
+        reconstructed = probabilities[e] * r_present + (1 - probabilities[e]) * r_absent
+        np.testing.assert_allclose(base, reconstructed, atol=1e-12)
+
+
+def test_enumeration_size_guard():
+    big = UncertainGraph(30, [(i, i + 1, 0.5) for i in range(25)])
+    with pytest.raises(EstimationError):
+        list(enumerate_worlds(big))

@@ -1,0 +1,57 @@
+"""Markdown release-report generation."""
+
+import pytest
+
+import repro
+from repro.report import build_report
+
+
+FAST = dict(n_trials=2, relevance_samples=100, sigma_tolerance=0.05)
+
+
+@pytest.fixture(scope="module")
+def release():
+    graph = repro.load_dataset("ppi", scale=0.25, seed=31)
+    result = repro.anonymize(graph, k=5, epsilon=0.05, seed=2, **FAST)
+    assert result.success
+    return graph, result
+
+
+def test_report_structure(release):
+    graph, result = release
+    text = build_report(graph, result.graph, 5, 0.05, result=result,
+                        n_samples=40, seed=0)
+    assert text.startswith("# Uncertain-graph anonymization report")
+    for section in ("## Release summary", "## Re-identification risk",
+                    "## Utility preservation", "## Least-protected vertices"):
+        assert section in text
+
+
+def test_report_states_verdict(release):
+    graph, result = release
+    text = build_report(graph, result.graph, 5, 0.05, n_samples=40, seed=1)
+    assert "**SATISFIED**" in text
+
+
+def test_report_flags_bad_release(release):
+    graph, __ = release
+    # "Anonymized" with the original graph at an unreachable k.
+    text = build_report(graph, graph, graph.n_nodes // 2, 0.0,
+                        n_samples=40, seed=2)
+    assert "**NOT SATISFIED**" in text
+
+
+def test_report_includes_method_line_when_result_given(release):
+    graph, result = release
+    with_result = build_report(graph, result.graph, 5, 0.05, result=result,
+                               n_samples=40, seed=3)
+    without = build_report(graph, result.graph, 5, 0.05, n_samples=40, seed=3)
+    assert "method: rsme" in with_result
+    assert "method: rsme" not in without
+
+
+def test_report_metric_table_rows(release):
+    graph, result = release
+    text = build_report(graph, result.graph, 5, 0.05, n_samples=40, seed=4)
+    for metric in ("average_degree", "reliability", "clustering_coefficient"):
+        assert metric in text

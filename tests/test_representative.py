@@ -1,0 +1,101 @@
+"""Representative-instance extraction (Parchas et al.) tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    adr_representative,
+    degree_discrepancy,
+    extract_representative,
+    greedy_representative,
+    most_probable_world,
+)
+from repro.exceptions import ConfigurationError
+from repro.ugraph import UncertainGraph
+
+
+class TestMostProbableWorld:
+    def test_threshold_at_half(self, triangle):
+        rep = most_probable_world(triangle)
+        assert rep.has_edge(0, 1)   # p = 0.5
+        assert rep.has_edge(1, 2)   # p = 0.8
+        assert not rep.has_edge(0, 2)  # p = 0.3
+
+    def test_all_probabilities_one(self, triangle):
+        rep = most_probable_world(triangle)
+        assert (rep.edge_probabilities == 1.0).all()
+
+    def test_deterministic_graph_unchanged(self, certain_square):
+        rep = most_probable_world(certain_square)
+        assert rep == certain_square
+
+
+class TestGreedy:
+    def test_output_is_deterministic(self, small_profile_graph):
+        rep = greedy_representative(small_profile_graph)
+        assert set(np.unique(rep.edge_probabilities)) <= {1.0}
+
+    def test_edges_subset_of_original(self, small_profile_graph):
+        rep = greedy_representative(small_profile_graph)
+        for u, v in rep.endpoint_pairs():
+            assert small_profile_graph.has_edge(u, v)
+
+    def test_improves_on_most_probable_for_skewed_probabilities(self):
+        """With all p < 0.5 the most-probable world is empty; greedy
+        matches the expected degrees far better."""
+        rng = np.random.default_rng(0)
+        n = 30
+        triples = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.3:
+                    triples.append((u, v, float(rng.uniform(0.1, 0.45))))
+        g = UncertainGraph(n, triples)
+        mp = most_probable_world(g)
+        greedy = greedy_representative(g)
+        assert degree_discrepancy(g, greedy) < degree_discrepancy(g, mp)
+
+    def test_matched_degree_for_uniform_half(self):
+        """A clique at p=0.5: expected degree (n-1)/2, greedy should land
+        within ~1 of it for every vertex."""
+        n = 9
+        g = UncertainGraph(
+            n, [(u, v, 0.5) for u in range(n) for v in range(u + 1, n)]
+        )
+        rep = greedy_representative(g)
+        expected = g.expected_degrees()
+        np.testing.assert_allclose(
+            rep.expected_degrees(), expected, atol=1.01
+        )
+
+
+class TestADR:
+    def test_no_worse_than_greedy(self, small_profile_graph):
+        greedy = greedy_representative(small_profile_graph)
+        adr = adr_representative(small_profile_graph)
+        assert degree_discrepancy(small_profile_graph, adr) <= (
+            degree_discrepancy(small_profile_graph, greedy) + 1e-9
+        )
+
+    def test_max_passes_validated(self, triangle):
+        with pytest.raises(ConfigurationError):
+            adr_representative(triangle, max_passes=0)
+
+    def test_deterministic_input_fixed_point(self, certain_square):
+        rep = adr_representative(certain_square)
+        assert rep == certain_square
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["most-probable", "greedy", "adr"])
+    def test_known_strategies(self, triangle, name):
+        rep = extract_representative(triangle, strategy=name)
+        assert rep.n_nodes == 3
+
+    def test_unknown_strategy(self, triangle):
+        with pytest.raises(ConfigurationError):
+            extract_representative(triangle, strategy="oracle")
+
+
+def test_degree_discrepancy_zero_for_perfect_match(certain_square):
+    assert degree_discrepancy(certain_square, certain_square) == 0.0

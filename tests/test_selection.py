@@ -1,0 +1,140 @@
+"""Edge-selection machinery tests (Algorithm 3, lines 1-16)."""
+
+import numpy as np
+import pytest
+
+from repro.core import exclusion_set, select_candidate_edges, selection_weights
+from repro.exceptions import ObfuscationError
+from repro.ugraph import UncertainGraph
+
+
+class TestExclusionSet:
+    def test_budget_size(self):
+        u = np.arange(10, dtype=float) + 1
+        vrr = np.ones(10)
+        h = exclusion_set(u, vrr, epsilon=0.4)
+        assert h.shape[0] == int(np.ceil(0.2 * 10))
+
+    def test_zero_epsilon_excludes_nobody(self):
+        h = exclusion_set(np.ones(5), np.ones(5), epsilon=0.0)
+        assert h.shape[0] == 0
+
+    def test_picks_largest_combined_scores(self):
+        u = np.array([1.0, 5.0, 1.0, 1.0])
+        vrr = np.array([1.0, 10.0, 1.0, 1.0])
+        h = exclusion_set(u, vrr, epsilon=0.5)  # budget 1
+        assert h.tolist() == [1]
+
+    def test_sorted_output(self):
+        rng = np.random.default_rng(0)
+        h = exclusion_set(rng.random(30), rng.random(30), epsilon=0.4)
+        assert (np.diff(h) > 0).all()
+
+
+class TestSelectionWeights:
+    def test_normalized(self):
+        q = selection_weights(np.array([1.0, 2.0, 3.0]))
+        assert q.sum() == pytest.approx(1.0)
+
+    def test_proportional_to_uniqueness(self):
+        q = selection_weights(np.array([1.0, 3.0]))
+        assert q[1] == pytest.approx(3 * q[0])
+
+    def test_relevance_damping(self):
+        u = np.ones(3)
+        rel = np.array([0.0, 0.5, 1.0])
+        q = selection_weights(u, normalized_relevance=rel)
+        assert q[0] > q[1] > q[2]
+        assert q[2] == 0.0
+
+    def test_excluded_vertices_zeroed(self):
+        q = selection_weights(np.ones(4), excluded=np.array([1, 3]))
+        assert q[1] == 0.0 and q[3] == 0.0
+        assert q.sum() == pytest.approx(1.0)
+
+    def test_negative_uniqueness_rejected(self):
+        with pytest.raises(ObfuscationError):
+            selection_weights(np.array([1.0, -1.0]))
+
+    def test_degenerate_weights_fall_back_to_uniform(self):
+        u = np.ones(3)
+        rel = np.ones(3)  # damping kills everything
+        q = selection_weights(u, normalized_relevance=rel)
+        np.testing.assert_allclose(q, 1 / 3)
+
+    def test_all_excluded_is_an_error(self):
+        with pytest.raises(ObfuscationError):
+            selection_weights(np.ones(2), excluded=np.array([0, 1]))
+
+
+class TestCandidateSelection:
+    @pytest.fixture
+    def graph(self):
+        rng = np.random.default_rng(1)
+        n = 25
+        pairs = set()
+        while len(pairs) < 60:
+            u, v = rng.integers(0, n, 2)
+            if u != v:
+                pairs.add((min(u, v), max(u, v)))
+        return UncertainGraph(
+            n, [(u, v, float(rng.uniform(0.1, 0.9))) for u, v in sorted(pairs)]
+        )
+
+    def test_target_size_reached(self, graph):
+        weights = selection_weights(np.ones(graph.n_nodes))
+        pairs = select_candidate_edges(graph, weights, 1.3, seed=2)
+        assert len(pairs) == round(1.3 * graph.n_edges)
+
+    def test_sub_unit_multiplier_rejected(self, graph):
+        """c < 1 targets are unreachable by the Algorithm-3 walk."""
+        weights = selection_weights(np.ones(graph.n_nodes))
+        with pytest.raises(ObfuscationError, match=">= 1"):
+            select_candidate_edges(graph, weights, 0.5, seed=3)
+
+    def test_candidates_are_canonical_pairs(self, graph):
+        weights = selection_weights(np.ones(graph.n_nodes))
+        pairs = select_candidate_edges(graph, weights, 1.2, seed=4)
+        for u, v in pairs:
+            assert u < v
+            assert 0 <= u < graph.n_nodes
+
+    def test_no_duplicates(self, graph):
+        weights = selection_weights(np.ones(graph.n_nodes))
+        pairs = select_candidate_edges(graph, weights, 1.5, seed=5)
+        assert len(pairs) == len(set(pairs))
+
+    def test_excluded_vertices_get_no_new_edges(self, graph):
+        """Zero-weight vertices can never be picked, so new candidate
+        edges avoid them (surviving original edges may touch them)."""
+        excluded = np.array([0, 1, 2])
+        weights = selection_weights(
+            np.ones(graph.n_nodes), excluded=excluded
+        )
+        pairs = select_candidate_edges(graph, weights, 1.4, seed=6)
+        originals = set(graph.endpoint_pairs())
+        fresh = [p for p in pairs if p not in originals]
+        for u, v in fresh:
+            assert u not in (0, 1, 2)
+            assert v not in (0, 1, 2)
+
+    def test_weight_shape_checked(self, graph):
+        with pytest.raises(ObfuscationError):
+            select_candidate_edges(graph, np.ones(3), 1.2)
+
+    def test_impossible_budget_rejected(self, graph):
+        with pytest.raises(ObfuscationError):
+            select_candidate_edges(
+                graph, selection_weights(np.ones(graph.n_nodes)), 1e6
+            )
+
+    def test_zero_budget_rejected(self):
+        g = UncertainGraph(4, [(0, 1, 0.5)])
+        with pytest.raises(ObfuscationError):
+            select_candidate_edges(g, np.full(4, 0.25), 0.0)
+
+    def test_reproducible(self, graph):
+        weights = selection_weights(np.ones(graph.n_nodes))
+        a = select_candidate_edges(graph, weights, 1.3, seed=7)
+        b = select_candidate_edges(graph, weights, 1.3, seed=7)
+        assert a == b

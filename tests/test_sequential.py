@@ -1,0 +1,100 @@
+"""Sequential-release composition analysis."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import ObfuscationError
+from repro.privacy import (
+    attack_success_probabilities,
+    composed_attack_success,
+    composed_entropy,
+    composed_posterior,
+    composition_report,
+    expected_degree_knowledge,
+)
+from repro.ugraph import UncertainGraph
+
+
+FAST = dict(n_trials=2, relevance_samples=100, sigma_tolerance=0.05)
+
+
+@pytest.fixture(scope="module")
+def releases():
+    graph = repro.load_dataset("ppi", scale=0.25, seed=41)
+    knowledge = expected_degree_knowledge(graph)
+    outs = []
+    for seed in (1, 2, 3):
+        result = repro.anonymize(graph, k=6, epsilon=0.05, seed=seed, **FAST)
+        assert result.success
+        outs.append(result.graph)
+    return graph, knowledge, outs
+
+
+class TestSingleReleaseConsistency:
+    def test_one_release_matches_attack_module(self, releases):
+        __, knowledge, outs = releases
+        composed = composed_attack_success([outs[0]], knowledge)
+        single = attack_success_probabilities(outs[0], knowledge)
+        np.testing.assert_allclose(composed, single, atol=1e-12)
+
+    def test_posterior_rows_normalized(self, releases):
+        __, knowledge, outs = releases
+        posterior = composed_posterior(outs[:2], knowledge)
+        sums = posterior.sum(axis=1)
+        assert ((np.isclose(sums, 1.0)) | (sums == 0.0)).all()
+
+
+class TestErosion:
+    def test_attack_success_never_decreases(self, releases):
+        __, knowledge, outs = releases
+        report = composition_report(outs, knowledge, k=6)
+        successes = [row["mean_attack_success"] for row in report]
+        for earlier, later in zip(successes, successes[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_entropy_never_increases(self, releases):
+        __, knowledge, outs = releases
+        one = composed_entropy(outs[:1], knowledge)
+        three = composed_entropy(outs, knowledge)
+        finite = np.isfinite(one) & np.isfinite(three)
+        assert (three[finite] <= one[finite] + 1e-9).all()
+
+    def test_obfuscated_fraction_monotone_down(self, releases):
+        __, knowledge, outs = releases
+        report = composition_report(outs, knowledge, k=6)
+        fractions = [row["fraction_k_obfuscated"] for row in report]
+        for earlier, later in zip(fractions, fractions[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_identical_releases_fully_erode(self):
+        """Re-publishing the SAME deterministic graph twice adds nothing
+        (already fully informative): success equals single release."""
+        star = UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
+        knowledge = expected_degree_knowledge(star)
+        one = composed_attack_success([star], knowledge)
+        two = composed_attack_success([star, star], knowledge)
+        np.testing.assert_allclose(one, two)
+
+
+class TestValidation:
+    def test_empty_release_list(self, releases):
+        __, knowledge, __ = releases
+        with pytest.raises(ObfuscationError):
+            composed_posterior([], knowledge)
+
+    def test_vertex_set_mismatch(self, releases):
+        graph, knowledge, outs = releases
+        other = UncertainGraph(graph.n_nodes + 1, [(0, 1, 0.5)])
+        with pytest.raises(ObfuscationError):
+            composed_posterior([outs[0], other], knowledge)
+
+    def test_knowledge_shape(self, releases):
+        __, __, outs = releases
+        with pytest.raises(ObfuscationError):
+            composed_posterior(outs, np.array([1, 2, 3]))
+
+    def test_report_k_validated(self, releases):
+        __, knowledge, outs = releases
+        with pytest.raises(ObfuscationError):
+            composition_report(outs, knowledge, k=0)

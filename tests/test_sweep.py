@@ -1,0 +1,59 @@
+"""Multi-k anonymization sweeps."""
+
+import pytest
+
+import repro
+from repro.core import sweep_anonymize
+from repro.exceptions import ConfigurationError, ObfuscationError
+from repro.privacy import check_obfuscation, expected_degree_knowledge
+
+
+FAST = dict(n_trials=2, relevance_samples=100, sigma_tolerance=0.05)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return repro.load_dataset("ppi", scale=0.3, seed=17)
+
+
+def test_sweep_returns_result_per_k(graph):
+    results = sweep_anonymize(graph, [3, 6, 10], 0.05, seed=0, **FAST)
+    assert sorted(results) == [3, 6, 10]
+    for k, result in results.items():
+        assert result.k == k
+        assert result.success
+
+
+def test_every_sweep_result_passes_independent_check(graph):
+    results = sweep_anonymize(graph, [4, 8], 0.05, seed=1, **FAST)
+    knowledge = expected_degree_knowledge(graph)
+    for k, result in results.items():
+        report = check_obfuscation(result.graph, k, 0.05, knowledge=knowledge)
+        assert report.satisfied, k
+
+
+def test_sweep_matches_single_runs_in_success(graph):
+    sweep = sweep_anonymize(graph, [5], 0.05, seed=2, **FAST)
+    single = repro.anonymize(graph, 5, 0.05, seed=2, **FAST)
+    assert sweep[5].success == single.success
+
+
+def test_failures_reported_per_k(graph):
+    """Impossible top-end k fails; easy ks still succeed."""
+    results = sweep_anonymize(
+        graph, [3, graph.n_nodes - 1], 0.0, seed=3,
+        sigma_max=1.0, **FAST,
+    )
+    assert not results[graph.n_nodes - 1].success
+    # The easy target's outcome is independent of the hard one.
+    assert results[3].epsilon_achieved <= 0.0 or not results[3].success
+
+
+def test_empty_k_values_rejected(graph):
+    with pytest.raises(ConfigurationError):
+        sweep_anonymize(graph, [], 0.05)
+
+
+def test_k_validation_applies_to_all(graph):
+    with pytest.raises(ObfuscationError):
+        sweep_anonymize(graph, [3, graph.n_nodes + 5], 0.05, **FAST)

@@ -1,0 +1,202 @@
+"""Unit tests for the UncertainGraph core type."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphConstructionError, InvalidProbabilityError
+from repro.ugraph import Edge, UncertainGraph
+
+
+class TestConstruction:
+    def test_basic_counts(self, triangle):
+        assert triangle.n_nodes == 3
+        assert triangle.n_edges == 3
+        assert len(triangle) == 3
+
+    def test_empty_graph(self):
+        g = UncertainGraph(0)
+        assert g.n_nodes == 0
+        assert g.n_edges == 0
+        assert g.mean_edge_probability() == 0.0
+
+    def test_edgeless_graph(self):
+        g = UncertainGraph(5)
+        assert g.n_edges == 0
+        assert list(g.edges()) == []
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            UncertainGraph(-1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphConstructionError, match="self-loop"):
+            UncertainGraph(3, [(1, 1, 0.5)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphConstructionError, match="duplicate"):
+            UncertainGraph(3, [(0, 1, 0.5), (1, 0, 0.7)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            UncertainGraph(3, [(0, 3, 0.5)])
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_invalid_probability_rejected(self, bad):
+        with pytest.raises(InvalidProbabilityError):
+            UncertainGraph(3, [(0, 1, bad)])
+
+    def test_boundary_probabilities_allowed(self):
+        g = UncertainGraph(3, [(0, 1, 0.0), (1, 2, 1.0)])
+        assert g.probability(0, 1) == 0.0
+        assert g.probability(1, 2) == 1.0
+
+    def test_canonical_orientation(self):
+        g = UncertainGraph(3, [(2, 0, 0.4)])
+        edge = next(iter(g.edges()))
+        assert (edge.u, edge.v) == (0, 2)
+
+    def test_label_length_checked(self):
+        with pytest.raises(GraphConstructionError):
+            UncertainGraph(3, [], labels=["a"])
+
+
+class TestAccessors:
+    def test_probability_lookup(self, triangle):
+        assert triangle.probability(0, 1) == 0.5
+        assert triangle.probability(1, 0) == 0.5
+        assert triangle.probability(0, 2) == 0.3
+
+    def test_probability_of_absent_edge_is_zero(self, path4):
+        assert path4.probability(0, 3) == 0.0
+
+    def test_has_edge_both_orientations(self, triangle):
+        assert triangle.has_edge(1, 2)
+        assert triangle.has_edge(2, 1)
+        assert not triangle.has_edge(0, 0)
+
+    def test_contains_protocol(self, triangle):
+        assert 2 in triangle
+        assert 3 not in triangle
+        assert (0, 1) in triangle
+        assert (0, 99) not in triangle
+
+    def test_edge_id_round_trip(self, triangle):
+        for u, v, __ in (e.as_tuple() for e in triangle.edges()):
+            i = triangle.edge_id(u, v)
+            assert triangle.edge_src[i] == u
+            assert triangle.edge_dst[i] == v
+
+    def test_expected_degrees(self, triangle):
+        degrees = triangle.expected_degrees()
+        assert degrees[0] == pytest.approx(0.5 + 0.3)
+        assert degrees[1] == pytest.approx(0.5 + 0.8)
+        assert degrees[2] == pytest.approx(0.8 + 0.3)
+
+    def test_expected_degree_single(self, triangle):
+        assert triangle.expected_degree(1) == pytest.approx(1.3)
+        with pytest.raises(KeyError):
+            triangle.expected_degree(9)
+
+    def test_incident_edge_ids(self, path4):
+        ids = path4.incident_edge_ids(1)
+        endpoints = {
+            (int(path4.edge_src[i]), int(path4.edge_dst[i])) for i in ids
+        }
+        assert endpoints == {(0, 1), (1, 2)}
+
+    def test_adjacency_lists(self, path4):
+        adj = path4.adjacency()
+        assert sorted(adj[1]) == [0, 2]
+        assert adj[0] == [1]
+
+    def test_total_probability_mass(self, triangle):
+        assert triangle.total_probability_mass() == pytest.approx(1.6)
+
+
+class TestFunctionalUpdates:
+    def test_with_probabilities_replaces(self, triangle):
+        updated = triangle.with_probabilities(np.array([0.1, 0.2, 0.3]))
+        assert updated.probability(0, 1) == pytest.approx(0.1)
+        # Original untouched.
+        assert triangle.probability(0, 1) == 0.5
+
+    def test_with_probabilities_shape_checked(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.with_probabilities(np.array([0.1, 0.2]))
+
+    def test_with_probabilities_range_checked(self, triangle):
+        with pytest.raises(InvalidProbabilityError):
+            triangle.with_probabilities(np.array([0.1, 0.2, 1.5]))
+
+    def test_dropping_zero_edges(self):
+        g = UncertainGraph(3, [(0, 1, 0.0), (1, 2, 0.5)])
+        stripped = g.dropping_zero_edges()
+        assert stripped.n_edges == 1
+        assert stripped.has_edge(1, 2)
+
+    def test_dropping_with_tolerance(self):
+        g = UncertainGraph(3, [(0, 1, 0.001), (1, 2, 0.5)])
+        assert g.dropping_zero_edges(tolerance=0.01).n_edges == 1
+
+    def test_equality(self, triangle):
+        clone = UncertainGraph(
+            3, [(0, 1, 0.5), (1, 2, 0.8), (0, 2, 0.3)]
+        )
+        assert triangle == clone
+        assert triangle != clone.with_probabilities(np.array([0.5, 0.8, 0.31]))
+
+
+class TestConversions:
+    def test_networkx_round_trip(self, triangle):
+        nx_graph = triangle.to_networkx()
+        back = UncertainGraph.from_networkx(nx_graph)
+        assert back.n_nodes == 3
+        assert back.probability(0, 1) == pytest.approx(0.5)
+
+    def test_from_networkx_default_probability(self):
+        import networkx as nx
+
+        g = nx.path_graph(3)
+        ug = UncertainGraph.from_networkx(g, default_probability=0.4)
+        assert ug.probability(0, 1) == pytest.approx(0.4)
+
+    def test_deterministic_world_threshold(self, triangle):
+        pairs = triangle.deterministic_world(threshold=0.5)
+        assert set(pairs) == {(0, 1), (1, 2)}
+
+
+class TestPickling:
+    """The benchmark cache pickles graphs; round-trips must be faithful."""
+
+    def test_round_trip(self, triangle):
+        import pickle
+
+        back = pickle.loads(pickle.dumps(triangle))
+        assert back == triangle
+        assert back.probability(0, 2) == triangle.probability(0, 2)
+
+    def test_round_trip_with_labels(self):
+        import pickle
+
+        g = UncertainGraph(2, [(0, 1, 0.5)], labels=["a", "b"])
+        back = pickle.loads(pickle.dumps(g))
+        assert back.labels == ["a", "b"]
+
+    def test_functional_clone_pickles(self, triangle):
+        import pickle
+
+        clone = triangle.with_probabilities(np.array([0.1, 0.2, 0.3]))
+        back = pickle.loads(pickle.dumps(clone))
+        assert back == clone
+
+
+class TestEdgeObject:
+    def test_tuple_equality(self):
+        assert Edge(0, 1, 0.5) == (0, 1, 0.5)
+
+    def test_iteration(self):
+        u, v, p = Edge(2, 5, 0.25)
+        assert (u, v, p) == (2, 5, 0.25)
+
+    def test_repr(self):
+        assert "0.5" in repr(Edge(0, 1, 0.5))

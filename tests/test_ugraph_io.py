@@ -1,0 +1,95 @@
+"""Unit tests for graph I/O formats."""
+
+import io
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.ugraph import (
+    UncertainGraph,
+    dumps_edge_list,
+    loads_edge_list,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+
+
+SAMPLE = """
+# comment line
+alice bob 0.9
+bob carol 0.4   # trailing comment
+carol dave
+"""
+
+
+def test_loads_edge_list_basic():
+    g = loads_edge_list(SAMPLE, default_probability=0.5)
+    assert g.n_nodes == 4
+    assert g.n_edges == 3
+    assert g.probability(0, 1) == pytest.approx(0.9)
+    assert g.probability(2, 3) == pytest.approx(0.5)  # default applied
+
+
+def test_loads_rejects_bad_field_count():
+    with pytest.raises(GraphFormatError, match="line 1"):
+        loads_edge_list("a b 0.5 extra")
+
+
+def test_loads_rejects_non_numeric_probability():
+    with pytest.raises(GraphFormatError, match="not a number"):
+        loads_edge_list("a b xyz")
+
+
+def test_loads_rejects_duplicate_edges():
+    with pytest.raises(GraphFormatError):
+        loads_edge_list("a b 0.5\nb a 0.6")
+
+
+def test_loads_rejects_out_of_range_probability():
+    with pytest.raises(GraphFormatError):
+        loads_edge_list("a b 1.5")
+
+
+def test_edge_list_round_trip(triangle, tmp_path):
+    path = tmp_path / "g.pel"
+    write_edge_list(triangle, path)
+    back = read_edge_list(path)
+    assert back.n_nodes == triangle.n_nodes
+    assert back.n_edges == triangle.n_edges
+    for u, v, p in (e.as_tuple() for e in triangle.edges()):
+        assert back.probability(u, v) == pytest.approx(p)
+
+
+def test_dumps_empty_graph():
+    assert dumps_edge_list(UncertainGraph(3)) == ""
+
+
+def test_dumps_uses_labels():
+    g = UncertainGraph(2, [(0, 1, 0.25)], labels=["x", "y"])
+    assert dumps_edge_list(g).strip() == "x y 0.25"
+
+
+def test_json_round_trip(triangle, tmp_path):
+    path = tmp_path / "g.json"
+    write_json(triangle, path, metadata={"k": 10})
+    back, meta = read_json(path)
+    assert back == triangle
+    assert meta == {"k": 10}
+
+
+def test_json_file_object_round_trip(path4):
+    buffer = io.StringIO()
+    write_json(path4, buffer)
+    buffer.seek(0)
+    back, meta = read_json(buffer)
+    assert back == path4
+    assert meta == {}
+
+
+def test_json_rejects_foreign_documents(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(GraphFormatError):
+        read_json(path)

@@ -1,0 +1,64 @@
+"""Unit tests for input validation helpers."""
+
+import pytest
+
+from repro.exceptions import ObfuscationError
+from repro.ugraph import (
+    UncertainGraph,
+    summarize,
+    validate_graph,
+    validate_privacy_parameters,
+)
+
+
+def test_validate_graph_accepts_normal_input(triangle):
+    validate_graph(triangle)  # does not raise
+
+
+def test_validate_graph_rejects_tiny_vertex_sets():
+    with pytest.raises(ObfuscationError):
+        validate_graph(UncertainGraph(1))
+
+
+def test_validate_graph_rejects_edgeless_by_default():
+    with pytest.raises(ObfuscationError, match="no edges"):
+        validate_graph(UncertainGraph(5))
+
+
+def test_validate_graph_edgeless_allowed_when_requested():
+    validate_graph(UncertainGraph(5), require_edges=False)
+
+
+def test_validate_privacy_parameters_ok(triangle):
+    validate_privacy_parameters(triangle, k=2, epsilon=0.1)
+
+
+@pytest.mark.parametrize("k", [0, -3, 1.5, "10"])
+def test_validate_privacy_rejects_bad_k(triangle, k):
+    with pytest.raises(ObfuscationError):
+        validate_privacy_parameters(triangle, k=k, epsilon=0.1)
+
+
+def test_validate_privacy_rejects_k_above_n(triangle):
+    with pytest.raises(ObfuscationError, match="exceeds"):
+        validate_privacy_parameters(triangle, k=4, epsilon=0.1)
+
+
+@pytest.mark.parametrize("epsilon", [-0.1, 1.0, 2.0])
+def test_validate_privacy_rejects_bad_epsilon(triangle, epsilon):
+    with pytest.raises(ObfuscationError):
+        validate_privacy_parameters(triangle, k=2, epsilon=epsilon)
+
+
+def test_summarize_fields(triangle):
+    s = summarize(triangle)
+    assert s["nodes"] == 3
+    assert s["edges"] == 3
+    assert s["mean_edge_probability"] == pytest.approx((0.5 + 0.8 + 0.3) / 3)
+    assert s["expected_max_degree"] == pytest.approx(1.3)
+
+
+def test_summarize_edgeless():
+    s = summarize(UncertainGraph(4))
+    assert s["edges"] == 0
+    assert s["mean_edge_probability"] == 0.0

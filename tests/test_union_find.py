@@ -1,0 +1,78 @@
+"""Unit tests for the disjoint-set structure."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import UnionFind, component_labels, connected_pair_count
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(4)
+        assert uf.n_components == 4
+        assert not uf.connected(0, 1)
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.n_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_component_size(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(3) == 1
+
+    def test_connected_pair_count(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        # C(3,2) + C(2,2) = 3 + 1
+        assert uf.connected_pair_count() == 4
+
+    def test_labels_consistency(self):
+        uf = UnionFind(6)
+        uf.union(0, 3)
+        uf.union(3, 5)
+        labels = uf.labels()
+        assert labels[0] == labels[3] == labels[5]
+        assert labels[1] != labels[0]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_empty(self):
+        uf = UnionFind(0)
+        assert uf.n_components == 0
+        assert uf.connected_pair_count() == 0
+
+
+def test_component_labels_function():
+    src = np.array([0, 2])
+    dst = np.array([1, 3])
+    labels = component_labels(5, src, dst)
+    assert labels[0] == labels[1]
+    assert labels[2] == labels[3]
+    assert labels[4] not in (labels[0], labels[2])
+
+
+def test_connected_pair_count_from_labels():
+    labels = np.array([0, 0, 0, 7, 7, 9])
+    assert connected_pair_count(labels) == 3 + 1 + 0

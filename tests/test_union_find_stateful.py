@@ -1,0 +1,73 @@
+"""Stateful property test: UnionFind vs a naive set-partition reference."""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.reliability import UnionFind
+
+_N = 12
+
+
+class _NaivePartition:
+    """Reference implementation: explicit list of disjoint sets."""
+
+    def __init__(self, n):
+        self.sets = [{i} for i in range(n)]
+
+    def _find_set(self, x):
+        for s in self.sets:
+            if x in s:
+                return s
+        raise AssertionError("element lost")
+
+    def union(self, a, b):
+        sa, sb = self._find_set(a), self._find_set(b)
+        if sa is sb:
+            return False
+        self.sets.remove(sb)
+        sa |= sb
+        return True
+
+    def connected(self, a, b):
+        return self._find_set(a) is self._find_set(b)
+
+    def n_components(self):
+        return len(self.sets)
+
+    def pair_count(self):
+        return sum(len(s) * (len(s) - 1) // 2 for s in self.sets)
+
+
+class UnionFindMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.uf = UnionFind(_N)
+        self.ref = _NaivePartition(_N)
+
+    @rule(a=st.integers(0, _N - 1), b=st.integers(0, _N - 1))
+    def union(self, a, b):
+        assert self.uf.union(a, b) == self.ref.union(a, b)
+
+    @rule(a=st.integers(0, _N - 1), b=st.integers(0, _N - 1))
+    def check_connected(self, a, b):
+        assert self.uf.connected(a, b) == self.ref.connected(a, b)
+
+    @invariant()
+    def component_count_matches(self):
+        assert self.uf.n_components == self.ref.n_components()
+
+    @invariant()
+    def pair_count_matches(self):
+        assert self.uf.connected_pair_count() == self.ref.pair_count()
+
+    @invariant()
+    def component_sizes_match(self):
+        for x in range(_N):
+            assert self.uf.component_size(x) == len(self.ref._find_set(x))
+
+
+TestUnionFindStateful = UnionFindMachine.TestCase
+TestUnionFindStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,68 @@
+"""Weighted edge-list format round-trips."""
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.ugraph import (
+    WeightedUncertainGraph,
+    dumps_weighted_edge_list,
+    loads_weighted_edge_list,
+)
+
+
+SAMPLE = """
+# junction graph
+a b 0.9 12.5
+b c 0.4 3.0   # short hop
+c d 0.7 8
+"""
+
+
+def test_loads_basic():
+    g = loads_weighted_edge_list(SAMPLE)
+    assert g.n_nodes == 4
+    assert g.n_edges == 3
+    assert g.probability(0, 1) == pytest.approx(0.9)
+    assert g.weight(0, 1) == pytest.approx(12.5)
+    assert g.weight(2, 3) == pytest.approx(8.0)
+
+
+def test_round_trip():
+    g = loads_weighted_edge_list(SAMPLE)
+    text = dumps_weighted_edge_list(g)
+    back = loads_weighted_edge_list(text)
+    assert back.n_edges == g.n_edges
+    for u, v, p, w in g.edges():
+        assert back.probability(u, v) == pytest.approx(p)
+        assert back.weight(u, v) == pytest.approx(w)
+
+
+def test_dumps_empty():
+    assert dumps_weighted_edge_list(WeightedUncertainGraph(3)) == ""
+
+
+def test_requires_four_fields():
+    with pytest.raises(GraphFormatError, match="u v p w"):
+        loads_weighted_edge_list("a b 0.5")
+
+
+def test_rejects_bad_numbers():
+    with pytest.raises(GraphFormatError):
+        loads_weighted_edge_list("a b zero 1.0")
+    with pytest.raises(GraphFormatError):
+        loads_weighted_edge_list("a b 0.5 heavy")
+
+
+def test_rejects_invalid_probability():
+    with pytest.raises(GraphFormatError):
+        loads_weighted_edge_list("a b 1.5 1.0")
+
+
+def test_rejects_negative_weight():
+    with pytest.raises(GraphFormatError):
+        loads_weighted_edge_list("a b 0.5 -2.0")
+
+
+def test_duplicate_edges_rejected():
+    with pytest.raises(GraphFormatError):
+        loads_weighted_edge_list("a b 0.5 1.0\nb a 0.6 2.0")
