@@ -1,0 +1,133 @@
+"""Connectivity-backend benchmark: wall time + partition equivalence.
+
+Times :func:`repro.reliability.batch_component_labels` under every
+selectable backend on the Brightkite-like profile and verifies that all
+backends produce identical component *partitions* (labels may differ up
+to per-world renaming; the partition is what every estimator consumes).
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_CONN_SCALE``   -- profile size multiplier (default 1.0)
+* ``REPRO_BENCH_CONN_SAMPLES`` -- Monte-Carlo worlds (default 1000)
+
+The module is also importable at tiny scale as the tier-1
+``benchmark_smoke`` test (see ``tests/test_benchmark_smoke.py``), so the
+perf-path code is exercised -- not timed -- in every test run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import load_profile
+from repro.reliability import (
+    CONNECTIVITY_BACKENDS,
+    batch_component_labels,
+    pair_counts_from_labels,
+)
+from repro.ugraph import sample_edge_masks
+
+CONN_SCALE = float(os.environ.get("REPRO_BENCH_CONN_SCALE", "1.0"))
+CONN_SAMPLES = int(os.environ.get("REPRO_BENCH_CONN_SAMPLES", "1000"))
+CONN_SEED = 2018
+
+
+def canonical_partition(labels: np.ndarray) -> np.ndarray:
+    """Relabel every row by order of first appearance.
+
+    Two labelings describe the same per-world partitions iff their
+    canonical forms are identical, regardless of which concrete label
+    each backend assigned to a component.
+    """
+    out = np.empty_like(labels)
+    for i, row in enumerate(labels):
+        uniq, first, inverse = np.unique(
+            row, return_index=True, return_inverse=True
+        )
+        rank = np.empty(uniq.size, dtype=labels.dtype)
+        rank[np.argsort(first, kind="stable")] = np.arange(
+            uniq.size, dtype=labels.dtype
+        )
+        out[i] = rank[inverse]
+    return out
+
+
+def run_backend_comparison(
+    n_samples: int = CONN_SAMPLES,
+    scale: float = CONN_SCALE,
+    seed: int = CONN_SEED,
+    backends: tuple[str, ...] = CONNECTIVITY_BACKENDS,
+    repeats: int = 3,
+    n_workers: int | None = None,
+) -> dict:
+    """Time every backend on one shared world batch; verify partitions.
+
+    Returns ``{"rows": [[backend, seconds, speedup_vs_scipy, n_components,
+    partitions_match], ...], "graph": (n_nodes, n_edges),
+    "n_samples": N}``.  ``seconds`` is the best of ``repeats`` timed runs
+    after one untimed warm-up call per backend.
+    """
+    graph = load_profile("brightkite", scale=scale, seed=seed)
+    masks = sample_edge_masks(graph, n_samples, seed=seed)
+
+    timings: dict[str, float] = {}
+    labelings: dict[str, np.ndarray] = {}
+    for backend in backends:
+        kwargs = {"n_workers": n_workers} if backend == "process" else {}
+        batch_component_labels(
+            graph, masks[: min(16, n_samples)], backend=backend, **kwargs
+        )  # warm-up: imports, allocator, worker pool fork costs
+        best = float("inf")
+        for __ in range(repeats):
+            started = time.perf_counter()
+            labels = batch_component_labels(
+                graph, masks, backend=backend, **kwargs
+            )
+            best = min(best, time.perf_counter() - started)
+        timings[backend] = best
+        labelings[backend] = labels
+
+    reference_backend = backends[0]
+    reference = canonical_partition(labelings[reference_backend])
+    reference_counts = pair_counts_from_labels(labelings[reference_backend])
+    rows = []
+    for backend in backends:
+        matches = bool(
+            np.array_equal(reference, canonical_partition(labelings[backend]))
+            and np.array_equal(
+                reference_counts, pair_counts_from_labels(labelings[backend])
+            )
+        )
+        rows.append([
+            backend,
+            timings[backend],
+            timings[reference_backend] / timings[backend],
+            int(labelings[backend].max(initial=-1) + 1),
+            matches,
+        ])
+    return {
+        "rows": rows,
+        "graph": (graph.n_nodes, graph.n_edges),
+        "n_samples": n_samples,
+    }
+
+
+def test_bench_connectivity_backends():
+    """Full-scale backend comparison (the recorded benchmark)."""
+    import _harness
+
+    result = run_backend_comparison()
+    n_nodes, n_edges = result["graph"]
+    table = _harness.format_table(
+        ["backend", "seconds", "speedup", "max components/world", "partition ok"],
+        result["rows"],
+    )
+    header = (
+        f"brightkite-like profile: n={n_nodes} |E|={n_edges} "
+        f"N={result['n_samples']} worlds\n"
+    )
+    _harness.emit("bench_connectivity_backends", header + table)
+    assert all(row[4] for row in result["rows"]), "backend partitions diverged"

@@ -61,7 +61,7 @@ from .ugraph import (
     write_edge_list,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..exceptions import ConfigurationError
+from ..reliability.connectivity import CONNECTIVITY_BACKENDS
 
 __all__ = ["ChameleonConfig", "variant_config", "VARIANTS"]
 
@@ -50,6 +51,12 @@ class ChameleonConfig:
         Possible worlds used to estimate reliability relevance.
     relevance_method:
         ``"merge-gain"`` (default) or ``"grouped"`` (Algorithm 2 verbatim).
+    connectivity_backend:
+        Connected-components engine of the Monte-Carlo machinery (one of
+        :data:`repro.reliability.connectivity.CONNECTIVITY_BACKENDS`).
+    n_workers:
+        Worker count for the ``"process"`` connectivity backend; ``None``
+        defers to ``REPRO_NUM_WORKERS`` / CPU count.
     selection_mode:
         ``"reliability-sensitive"`` folds (1 - normalized VRR) into the
         vertex sampling weights; ``"uniqueness-only"`` uses uniqueness
@@ -77,6 +84,8 @@ class ChameleonConfig:
     n_trials: int = 5
     relevance_samples: int = 400
     relevance_method: str = "merge-gain"
+    connectivity_backend: str = "scipy"
+    n_workers: int | None = None
     selection_mode: str = "reliability-sensitive"
     perturbation_mode: str = "max-entropy"
     sigma_initial: float = 1.0
@@ -107,6 +116,15 @@ class ChameleonConfig:
         if self.relevance_samples < 1:
             raise ConfigurationError(
                 f"relevance_samples must be >= 1, got {self.relevance_samples}"
+            )
+        if self.connectivity_backend not in CONNECTIVITY_BACKENDS:
+            raise ConfigurationError(
+                "connectivity_backend must be one of "
+                f"{CONNECTIVITY_BACKENDS}, got {self.connectivity_backend!r}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1 (or None for auto), got {self.n_workers}"
             )
         if self.selection_mode not in _SELECTION_MODES:
             raise ConfigurationError(

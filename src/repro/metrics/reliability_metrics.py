@@ -25,6 +25,8 @@ def average_reliability_discrepancy(
     n_samples: int = 500,
     n_pairs: int | None = None,
     seed=None,
+    backend: str = "scipy",
+    n_workers: int | None = None,
 ) -> float:
     """Average per-pair reliability discrepancy (the Figure 4/8 y-axis).
 
@@ -39,12 +41,18 @@ def average_reliability_discrepancy(
         n_pairs=n_pairs,
         seed=seed,
         per_pair=True,
+        backend=backend,
+        n_workers=n_workers,
     )
 
 
 def expected_reliability(
-    graph: UncertainGraph, n_samples: int = 500, seed=None
+    graph: UncertainGraph, n_samples: int = 500, seed=None,
+    backend: str = "scipy", n_workers: int | None = None,
 ) -> float:
     """Average all-pairs reliability of one graph (connectivity level)."""
-    estimator = ReliabilityEstimator(graph, n_samples=n_samples, seed=seed)
+    estimator = ReliabilityEstimator(
+        graph, n_samples=n_samples, seed=seed,
+        backend=backend, n_workers=n_workers,
+    )
     return estimator.average_all_pairs_reliability()

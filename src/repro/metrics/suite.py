@@ -75,6 +75,8 @@ def compare_graphs(
     n_samples: int = 200,
     distance_method: str = "anf",
     seed=None,
+    backend: str = "scipy",
+    n_workers: int | None = None,
 ) -> dict[str, MetricComparison]:
     """Evaluate utility preservation across the paper's metric groups.
 
@@ -86,6 +88,9 @@ def compare_graphs(
         Monte-Carlo worlds per sampled metric.
     distance_method:
         ``"anf"`` or ``"bfs"`` for the node-separation group.
+    backend, n_workers:
+        Connectivity engine for the reliability metric group (see
+        :mod:`repro.reliability.connectivity`).
 
     Returns a dict keyed by metric name.  The ``"reliability"`` entry is
     special: its *relative_error* is the average per-pair reliability
@@ -145,10 +150,17 @@ def compare_graphs(
     if "reliability" in metrics:
         from ..reliability.estimator import ReliabilityEstimator
 
-        est_a = ReliabilityEstimator(original, n_samples=n_samples, seed=rng)
-        est_b = ReliabilityEstimator(anonymized, n_samples=n_samples, seed=rng)
+        est_a = ReliabilityEstimator(
+            original, n_samples=n_samples, seed=rng,
+            backend=backend, n_workers=n_workers,
+        )
+        est_b = ReliabilityEstimator(
+            anonymized, n_samples=n_samples, seed=rng,
+            backend=backend, n_workers=n_workers,
+        )
         discrepancy = average_reliability_discrepancy(
-            original, anonymized, n_samples=n_samples, seed=rng
+            original, anonymized, n_samples=n_samples, seed=rng,
+            backend=backend, n_workers=n_workers,
         )
         results["reliability"] = MetricComparison(
             "reliability",

@@ -11,9 +11,12 @@
 """
 
 from .connectivity import (
+    CONNECTIVITY_BACKENDS,
+    NUM_WORKERS_ENV,
     batch_component_labels,
     batch_pair_counts,
     pair_counts_from_labels,
+    resolve_worker_count,
     world_component_labels,
 )
 from .estimator import (
@@ -53,6 +56,9 @@ __all__ = [
     "UnionFind",
     "component_labels",
     "connected_pair_count",
+    "CONNECTIVITY_BACKENDS",
+    "NUM_WORKERS_ENV",
+    "resolve_worker_count",
     "world_component_labels",
     "batch_component_labels",
     "batch_pair_counts",

@@ -33,6 +33,9 @@ __all__ = [
 
 DEFAULT_SAMPLES = 1000
 _FULL_MATRIX_LIMIT = 1500
+#: Element budget for one ``(block, n, n)`` equality tensor in
+#: :meth:`ReliabilityEstimator.pairwise_reliability`.
+_PAIRWISE_BLOCK_ELEMENTS = 16_000_000
 
 
 class ReliabilityEstimator:
@@ -48,7 +51,12 @@ class ReliabilityEstimator:
     seed:
         Reproducibility seed / generator.
     backend:
-        Connected-components backend (``"scipy"`` or ``"python"``).
+        Connected-components backend (one of
+        :data:`repro.reliability.connectivity.CONNECTIVITY_BACKENDS`:
+        ``"scipy"``, ``"python"``, ``"batched-scipy"``, ``"process"``).
+    n_workers:
+        Worker count for the ``"process"`` backend; ``None`` defers to
+        the ``REPRO_NUM_WORKERS`` environment variable / CPU count.
     antithetic:
         Sample worlds in antithetic (negatively correlated) pairs --
         unbiased, lower variance for monotone statistics; requires an
@@ -65,6 +73,7 @@ class ReliabilityEstimator:
         seed=None,
         backend: str = "scipy",
         antithetic: bool = False,
+        n_workers: int | None = None,
     ):
         if n_samples <= 0:
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
@@ -76,6 +85,7 @@ class ReliabilityEstimator:
         self._n_samples = int(n_samples)
         self._rng = as_generator(seed)
         self._backend = backend
+        self._n_workers = n_workers
         self._antithetic = bool(antithetic)
         self._masks: np.ndarray | None = None
         self._labels: np.ndarray | None = None
@@ -106,7 +116,8 @@ class ReliabilityEstimator:
         """Int ``(N, n)`` component labels per world (cached)."""
         if self._labels is None:
             self._labels = batch_component_labels(
-                self._graph, self.masks, backend=self._backend
+                self._graph, self.masks, backend=self._backend,
+                n_workers=self._n_workers,
             )
         return self._labels
 
@@ -163,13 +174,18 @@ class ReliabilityEstimator:
                 f"vertices, graph has {n}; use reliability_of_pairs"
             )
         labels = self.labels
-        acc = np.zeros((n, n), dtype=np.float64)
-        for i in range(labels.shape[0]):
-            row = labels[i]
-            acc += row[:, None] == row[None, :]
-        acc /= labels.shape[0]
-        np.fill_diagonal(acc, 1.0)
-        return acc
+        n_samples = labels.shape[0]
+        # Accumulate in world blocks: each block builds one (b, n, n)
+        # boolean equality tensor and reduces it in compiled code, with
+        # the block size chosen to bound that temporary.
+        acc = np.zeros((n, n), dtype=np.int64)
+        block = max(1, _PAIRWISE_BLOCK_ELEMENTS // max(1, n * n))
+        for start in range(0, n_samples, block):
+            chunk = labels[start:start + block]
+            acc += (chunk[:, :, None] == chunk[:, None, :]).sum(axis=0)
+        result = acc / n_samples
+        np.fill_diagonal(result, 1.0)
+        return result
 
 
 def sample_vertex_pairs(
@@ -196,6 +212,8 @@ def reliability_discrepancy(
     n_pairs: int | None = None,
     seed=None,
     per_pair: bool = True,
+    backend: str = "scipy",
+    n_workers: int | None = None,
 ) -> float:
     """Estimate the reliability discrepancy ``Delta`` (Definition 2).
 
@@ -213,6 +231,9 @@ def reliability_discrepancy(
         If True (default) return the *average* discrepancy per evaluated
         pair -- the scale-free quantity the paper's figures report.  If
         False, return the (estimated) total sum over all pairs.
+    backend, n_workers:
+        Connectivity engine selection, forwarded to both graphs'
+        :class:`ReliabilityEstimator` instances.
 
     The same sampled pair set is applied to both graphs so the comparison
     is paired, which dramatically reduces estimator variance.
@@ -225,8 +246,14 @@ def reliability_discrepancy(
     # so shared edges realize identically.  This pairs the comparison
     # (large variance reduction) and makes Delta(G, G) exactly zero.
     shared_seed = int(rng.integers(0, 2**63 - 1))
-    est_a = ReliabilityEstimator(original, n_samples, seed=shared_seed)
-    est_b = ReliabilityEstimator(anonymized, n_samples, seed=shared_seed)
+    est_a = ReliabilityEstimator(
+        original, n_samples, seed=shared_seed,
+        backend=backend, n_workers=n_workers,
+    )
+    est_b = ReliabilityEstimator(
+        anonymized, n_samples, seed=shared_seed,
+        backend=backend, n_workers=n_workers,
+    )
 
     total_pairs = n * (n - 1) / 2
     use_all = n_pairs is None and n <= _FULL_MATRIX_LIMIT

@@ -91,7 +91,8 @@ def _merge_gain_accumulate(
 
 
 def _forced_absent_err(
-    graph: UncertainGraph, edge: int, n_samples: int, rng
+    graph: UncertainGraph, edge: int, n_samples: int, rng,
+    backend: str = "scipy", n_workers: int | None = None,
 ) -> float:
     """Direct ``ERR`` estimate for one edge by forcing it absent.
 
@@ -103,7 +104,9 @@ def _forced_absent_err(
     probabilities[edge] = 0.0
     forced = graph.with_probabilities(probabilities)
     masks = sample_edge_masks(forced, n_samples, seed=rng)
-    labels = batch_component_labels(forced, masks)
+    labels = batch_component_labels(
+        forced, masks, backend=backend, n_workers=n_workers
+    )
     u = int(graph.edge_src[edge])
     v = int(graph.edge_dst[edge])
     total = 0.0
@@ -121,6 +124,7 @@ def edge_reliability_relevance(
     seed=None,
     method: str = "merge-gain",
     backend: str = "scipy",
+    n_workers: int | None = None,
 ) -> np.ndarray:
     """Estimate ``ERR(e)`` for every edge with shared sampled worlds.
 
@@ -129,6 +133,9 @@ def edge_reliability_relevance(
     method:
         ``"grouped"`` (Algorithm 2 as published) or ``"merge-gain"``
         (lower-variance default; see module docstring).
+    backend, n_workers:
+        Connectivity engine selection (see
+        :mod:`repro.reliability.connectivity`).
 
     Returns the ``(|E|,)`` non-negative relevance vector aligned with the
     graph's dense edge indexing.
@@ -139,7 +146,9 @@ def edge_reliability_relevance(
         raise EstimationError(f"unknown relevance method {method!r}")
     rng = as_generator(seed)
     masks = sample_edge_masks(graph, n_samples, seed=rng)
-    labels = batch_component_labels(graph, masks, backend=backend)
+    labels = batch_component_labels(
+        graph, masks, backend=backend, n_workers=n_workers
+    )
 
     present_counts = masks.sum(axis=0)
     absent_counts = n_samples - present_counts
@@ -160,7 +169,10 @@ def edge_reliability_relevance(
         degenerate = gain_counts == 0
 
     for e in np.flatnonzero(degenerate):
-        err[e] = _forced_absent_err(graph, int(e), n_samples, rng)
+        err[e] = _forced_absent_err(
+            graph, int(e), n_samples, rng,
+            backend=backend, n_workers=n_workers,
+        )
 
     # ERR is provably non-negative; clip residual sampling noise.
     return np.clip(np.nan_to_num(err, nan=0.0), 0.0, None)
@@ -189,10 +201,12 @@ def compute_relevance(
     seed=None,
     method: str = "merge-gain",
     backend: str = "scipy",
+    n_workers: int | None = None,
 ) -> RelevanceResult:
     """One-call edge + vertex relevance computation."""
     err = edge_reliability_relevance(
-        graph, n_samples=n_samples, seed=seed, method=method, backend=backend
+        graph, n_samples=n_samples, seed=seed, method=method,
+        backend=backend, n_workers=n_workers,
     )
     vrr = vertex_reliability_relevance(graph, err)
     return RelevanceResult(

@@ -1,0 +1,42 @@
+"""Tier-1 smoke run of the connectivity benchmark (tiny scale).
+
+Executes ``benchmarks/bench_connectivity_backends.py``'s comparison
+routine at a size where timing is meaningless but every backend's code
+path -- including the multiprocess pool -- is exercised on each test
+run.  Marked ``benchmark_smoke`` so it can be selected or skipped with
+``-m``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = str(Path(__file__).resolve().parent.parent / "benchmarks")
+if BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, BENCHMARKS_DIR)
+
+import bench_connectivity_backends as bench  # noqa: E402
+
+
+@pytest.mark.benchmark_smoke
+def test_backend_comparison_smoke():
+    result = bench.run_backend_comparison(
+        n_samples=12, scale=0.15, repeats=1, n_workers=2
+    )
+    assert result["n_samples"] == 12
+    backends = [row[0] for row in result["rows"]]
+    assert set(backends) == {"scipy", "python", "batched-scipy", "process"}
+    assert all(row[4] for row in result["rows"]), "backend partitions diverged"
+    assert all(row[1] >= 0.0 for row in result["rows"])
+
+
+@pytest.mark.benchmark_smoke
+def test_canonical_partition_invariant_to_renaming():
+    import numpy as np
+
+    labels = np.array([[0, 0, 1, 2], [1, 0, 0, 1]], dtype=np.int32)
+    renamed = np.array([[2, 2, 0, 1], [0, 1, 1, 0]], dtype=np.int32)
+    np.testing.assert_array_equal(
+        bench.canonical_partition(labels), bench.canonical_partition(renamed)
+    )

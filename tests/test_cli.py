@@ -164,3 +164,76 @@ def test_diagnose_subcommand(tmp_path, capsys):
     code = main(["diagnose", str(source), "--k", "10000",
                  "--epsilon", "0.0"])
     assert code == 1
+
+
+def test_backend_flags_parse():
+    parser = build_parser()
+    for command_tail in (
+        ["anonymize", "a.pel", "b.pel", "--k", "3"],
+        ["check", "a.pel", "--k", "3"],
+        ["evaluate", "a.pel", "b.pel"],
+    ):
+        args = parser.parse_args(
+            command_tail + ["--backend", "batched-scipy", "--workers", "2"]
+        )
+        assert args.backend == "batched-scipy"
+        assert args.workers == 2
+
+
+def test_backend_flag_rejects_unknown(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["evaluate", "a.pel", "b.pel", "--backend", "gpu"])
+    capsys.readouterr()
+
+
+def test_workers_flag_rejects_non_positive(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["evaluate", "a.pel", "b.pel", "--workers", "0"])
+    capsys.readouterr()
+
+
+def test_pipeline_with_batched_backend(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    target = tmp_path / "anon.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "21"])
+    capsys.readouterr()
+
+    code = main([
+        "anonymize", str(source), str(target),
+        "--method", "rsme", "--k", "3", "--epsilon", "0.1",
+        "--trials", "2", "--seed", "22", "--backend", "batched-scipy",
+    ])
+    summary = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert summary["success"] is True
+
+    code = main(["check", str(target), "--k", "3", "--epsilon", "0.1",
+                 "--original", str(source), "--backend", "batched-scipy"])
+    capsys.readouterr()
+    assert code == 0
+
+    code = main(["evaluate", str(source), str(target), "--samples", "40",
+                 "--seed", "23", "--backend", "batched-scipy"])
+    rows = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert "reliability" in rows
+
+
+def test_evaluate_backend_equivalence(tmp_path, capsys):
+    """Backend choice must not change seeded evaluate output."""
+    source = tmp_path / "orig.pel"
+    target = tmp_path / "anon.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "24"])
+    main(["anonymize", str(source), str(target), "--method", "me",
+          "--k", "3", "--epsilon", "0.1", "--trials", "2", "--seed", "25"])
+    capsys.readouterr()
+
+    outputs = []
+    for backend in ("scipy", "batched-scipy"):
+        code = main(["evaluate", str(source), str(target), "--samples", "40",
+                     "--seed", "26", "--backend", backend])
+        assert code == 0
+        outputs.append(json.loads(capsys.readouterr().out))
+    assert outputs[0] == outputs[1]

@@ -34,6 +34,9 @@ class TestValidation:
             {"relevance_samples": 0},
             {"selection_mode": "psychic"},
             {"perturbation_mode": "psychic"},
+            {"connectivity_backend": "gpu"},
+            {"n_workers": 0},
+            {"n_workers": -2},
             {"sigma_initial": 0.0},
             {"sigma_initial": 100.0},  # above sigma_max
             {"sigma_tolerance": 0.0},
@@ -68,6 +71,17 @@ class TestVariants:
         assert cfg.k == 42
         assert cfg.n_trials == 2
         assert cfg.selection_mode == "uniqueness-only"
+
+    def test_connectivity_backend_override(self):
+        cfg = variant_config("rsme", connectivity_backend="batched-scipy",
+                             n_workers=4)
+        assert cfg.connectivity_backend == "batched-scipy"
+        assert cfg.n_workers == 4
+
+    def test_connectivity_defaults(self):
+        cfg = ChameleonConfig()
+        assert cfg.connectivity_backend == "scipy"
+        assert cfg.n_workers is None
 
     def test_unknown_variant(self):
         with pytest.raises(ConfigurationError):

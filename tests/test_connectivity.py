@@ -67,3 +67,36 @@ def test_batch_pair_counts_certain_graph(certain_square):
     counts = batch_pair_counts(certain_square, masks)
     # The square is deterministic and connected: always C(4,2) = 6 pairs.
     np.testing.assert_array_equal(counts, np.full(10, 6.0))
+
+
+def test_batch_labels_shape_mismatch_rejected(triangle):
+    masks = np.zeros((5, triangle.n_edges + 1), dtype=bool)
+    with pytest.raises(ValueError):
+        batch_component_labels(triangle, masks)
+
+
+def test_batched_backend_matches_loop(triangle):
+    masks = sample_edge_masks(triangle, 25, seed=9)
+    loop = batch_component_labels(triangle, masks, backend="scipy")
+    batched = batch_component_labels(triangle, masks, backend="batched-scipy")
+    for i in range(masks.shape[0]):
+        a, b = loop[i], batched[i]
+        np.testing.assert_array_equal(
+            a[:, None] == a[None, :], b[:, None] == b[None, :]
+        )
+
+
+def test_pair_counts_vectorized_matches_per_world_bincount():
+    rng = np.random.default_rng(3)
+    labels = rng.integers(0, 4, size=(17, 9)).astype(np.int32)
+    # Renumber rows to the documented consecutive-ids contract.
+    labels = np.stack([np.unique(row, return_inverse=True)[1] for row in labels])
+    expected = np.array([
+        float((np.bincount(row) * (np.bincount(row) - 1) // 2).sum())
+        for row in labels
+    ])
+    np.testing.assert_array_equal(pair_counts_from_labels(labels), expected)
+
+
+def test_pair_counts_empty_batch():
+    assert pair_counts_from_labels(np.zeros((0, 5), dtype=np.int32)).shape == (0,)

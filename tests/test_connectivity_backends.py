@@ -1,0 +1,220 @@
+"""Cross-backend tests for the batched connectivity engine.
+
+The contract under test: every backend in ``CONNECTIVITY_BACKENDS``
+produces the same component *partitions* (concrete labels may differ up
+to per-world renaming), and therefore backend choice never changes any
+seeded estimator result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.reliability import (
+    CONNECTIVITY_BACKENDS,
+    NUM_WORKERS_ENV,
+    ReliabilityEstimator,
+    batch_component_labels,
+    batch_pair_counts,
+    pair_counts_from_labels,
+    reliability_discrepancy,
+    resolve_worker_count,
+    sample_vertex_pairs,
+)
+from repro.ugraph import UncertainGraph, sample_edge_masks
+
+
+def equality_matrices(labels: np.ndarray) -> np.ndarray:
+    """Label-invariant partition encoding: per-world co-membership."""
+    return labels[:, :, None] == labels[:, None, :]
+
+
+@st.composite
+def uncertain_graphs(draw) -> UncertainGraph:
+    """Random small uncertain graphs with arbitrary probabilities."""
+    n = draw(st.integers(min_value=2, max_value=18))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+    )
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=len(chosen),
+            max_size=len(chosen),
+        )
+    )
+    return UncertainGraph(n, [(u, v, p) for (u, v), p in zip(chosen, probs)])
+
+
+class TestCrossBackendPartitions:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=uncertain_graphs(), seed=st.integers(0, 2**31 - 1))
+    def test_all_backends_identical_partitions(self, graph, seed):
+        masks = sample_edge_masks(graph, 12, seed=seed)
+        reference = None
+        for backend in CONNECTIVITY_BACKENDS:
+            labels = batch_component_labels(
+                graph, masks, backend=backend, n_workers=1
+            )
+            assert labels.shape == (12, graph.n_nodes)
+            # Each row must use consecutive ids starting at 0.
+            for row in labels:
+                assert sorted(set(row.tolist())) == list(range(row.max() + 1))
+            encoded = equality_matrices(labels)
+            if reference is None:
+                reference = encoded
+            else:
+                np.testing.assert_array_equal(reference, encoded)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=uncertain_graphs(), seed=st.integers(0, 2**31 - 1))
+    def test_pair_counts_agree_across_backends(self, graph, seed):
+        masks = sample_edge_masks(graph, 8, seed=seed)
+        counts = [
+            batch_pair_counts(graph, masks, backend=backend, n_workers=1)
+            for backend in CONNECTIVITY_BACKENDS
+        ]
+        for other in counts[1:]:
+            np.testing.assert_array_equal(counts[0], other)
+
+
+class TestEstimatorDeterminism:
+    @pytest.mark.parametrize("backend", CONNECTIVITY_BACKENDS)
+    def test_backend_does_not_change_seeded_results(
+        self, small_profile_graph, backend
+    ):
+        reference = ReliabilityEstimator(
+            small_profile_graph, n_samples=60, seed=11, backend="scipy"
+        )
+        estimator = ReliabilityEstimator(
+            small_profile_graph, n_samples=60, seed=11,
+            backend=backend, n_workers=1,
+        )
+        pairs = sample_vertex_pairs(small_profile_graph.n_nodes, 50, seed=5)
+        assert estimator.two_terminal(0, 1) == reference.two_terminal(0, 1)
+        assert (
+            estimator.expected_connected_pairs()
+            == reference.expected_connected_pairs()
+        )
+        np.testing.assert_array_equal(
+            estimator.reliability_of_pairs(pairs),
+            reference.reliability_of_pairs(pairs),
+        )
+        np.testing.assert_array_equal(
+            estimator.pairwise_reliability(),
+            reference.pairwise_reliability(),
+        )
+
+    @pytest.mark.parametrize("backend", CONNECTIVITY_BACKENDS)
+    def test_discrepancy_deterministic_across_backends(
+        self, bridge_graph, backend
+    ):
+        perturbed = bridge_graph.with_probabilities(
+            np.clip(bridge_graph.edge_probabilities - 0.2, 0.0, 1.0)
+        )
+        reference = reliability_discrepancy(
+            bridge_graph, perturbed, n_samples=80, seed=3, backend="scipy"
+        )
+        value = reliability_discrepancy(
+            bridge_graph, perturbed, n_samples=80, seed=3,
+            backend=backend, n_workers=1,
+        )
+        assert value == reference
+
+
+class TestBatchedEdgeCases:
+    def test_empty_world_batch(self, triangle):
+        masks = np.zeros((0, triangle.n_edges), dtype=bool)
+        for backend in CONNECTIVITY_BACKENDS:
+            labels = batch_component_labels(
+                triangle, masks, backend=backend, n_workers=1
+            )
+            assert labels.shape == (0, 3)
+
+    def test_all_edges_absent_worlds(self, triangle):
+        masks = np.zeros((5, triangle.n_edges), dtype=bool)
+        labels = batch_component_labels(triangle, masks, backend="batched-scipy")
+        # Every vertex isolated: partitions are all-singletons.
+        for row in labels:
+            assert len(set(row.tolist())) == 3
+
+    def test_edgeless_graph(self):
+        graph = UncertainGraph(4, [])
+        masks = np.zeros((3, 0), dtype=bool)
+        for backend in CONNECTIVITY_BACKENDS:
+            labels = batch_component_labels(
+                graph, masks, backend=backend, n_workers=1
+            )
+            assert labels.shape == (3, 4)
+
+    def test_integer_masks_accepted(self, triangle):
+        masks = sample_edge_masks(triangle, 6, seed=0).astype(np.int8)
+        a = batch_component_labels(triangle, masks, backend="batched-scipy")
+        b = batch_component_labels(triangle, masks.astype(bool))
+        np.testing.assert_array_equal(
+            equality_matrices(a), equality_matrices(b)
+        )
+
+
+class TestValidation:
+    def test_wrong_width_masks_rejected(self, triangle):
+        masks = np.zeros((4, triangle.n_edges + 2), dtype=bool)
+        with pytest.raises(ValueError, match="edge columns"):
+            batch_component_labels(triangle, masks)
+
+    def test_one_dimensional_masks_rejected(self, triangle):
+        with pytest.raises(ValueError, match="2-D"):
+            batch_component_labels(
+                triangle, np.zeros(triangle.n_edges, dtype=bool)
+            )
+
+    def test_unknown_backend_rejected(self, triangle):
+        masks = sample_edge_masks(triangle, 2, seed=0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            batch_component_labels(triangle, masks, backend="gpu")
+
+    def test_pair_counts_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            pair_counts_from_labels(np.zeros(5, dtype=np.int32))
+
+
+class TestWorkerResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "7")
+        assert resolve_worker_count(3) == 3
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "5")
+        assert resolve_worker_count() == 5
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(NUM_WORKERS_ENV, raising=False)
+        assert resolve_worker_count() >= 1
+
+    def test_rejects_non_integer_env(self, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError, match=NUM_WORKERS_ENV):
+            resolve_worker_count()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            resolve_worker_count(0)
+
+    def test_process_backend_reads_env(self, triangle, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "1")
+        masks = sample_edge_masks(triangle, 4, seed=2)
+        labels = batch_component_labels(triangle, masks, backend="process")
+        assert labels.shape == (4, 3)
+
+    def test_process_backend_multiworker(self, triangle):
+        masks = sample_edge_masks(triangle, 9, seed=4)
+        a = batch_component_labels(
+            triangle, masks, backend="process", n_workers=2
+        )
+        b = batch_component_labels(triangle, masks, backend="scipy")
+        np.testing.assert_array_equal(
+            equality_matrices(a), equality_matrices(b)
+        )

@@ -57,7 +57,7 @@ class TestResultObjects:
         assert result.summary()["success"] is False
 
     def test_version_exposed(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
