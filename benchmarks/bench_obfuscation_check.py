@@ -1,0 +1,170 @@
+"""Obfuscation-checker benchmark: full rebuild vs incremental delta cache.
+
+Times the (k, epsilon)-obfuscation check for a GenObf-shaped workload --
+many candidate graphs, each differing from the base graph only on a small
+perturbed edge set -- under both selectable checkers:
+
+* ``full``        -- overlay the delta onto the base graph and rebuild
+                     the whole degree-uncertainty matrix
+                     (:func:`repro.privacy.check_obfuscation`);
+* ``incremental`` -- :meth:`repro.privacy.DegreeUncertaintyCache.check_delta`,
+                     recomputing degree pmfs only for the touched
+                     endpoints and re-deriving column entropies in place.
+
+Every timed delta is also cross-checked for bit-identical reports, so the
+benchmark doubles as an end-to-end equivalence audit at realistic scale.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_OBF_SCALE``  -- profile size multiplier (default 2.0,
+                                i.e. n=1200 / |E| ~ 4200)
+* ``REPRO_BENCH_OBF_DELTAS`` -- candidate checks timed (default 60)
+* ``REPRO_BENCH_OBF_EDGES``  -- perturbed edges per candidate (default 40)
+
+The module is also importable at tiny scale as the tier-1
+``benchmark_smoke`` test (see ``tests/test_benchmark_smoke.py``), so both
+checker paths are exercised -- not timed -- in every test run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import load_profile
+from repro.privacy import DegreeUncertaintyCache, check_obfuscation
+from repro.ugraph import overlay
+
+OBF_SCALE = float(os.environ.get("REPRO_BENCH_OBF_SCALE", "2.0"))
+OBF_DELTAS = int(os.environ.get("REPRO_BENCH_OBF_DELTAS", "60"))
+OBF_EDGES = int(os.environ.get("REPRO_BENCH_OBF_EDGES", "40"))
+OBF_SEED = 2018
+OBF_K = 10
+OBF_EPSILON = 0.05
+
+
+def _sample_delta(graph, n_edges: int, rng) -> list[tuple[int, int, float, float]]:
+    """One GenObf-like candidate delta against ``graph``.
+
+    Mixes tweaks of existing edges (the common case: candidate selection
+    is biased toward the realized edge set) with a few brand-new pairs,
+    mirroring what ``select_candidate_edges`` + perturbation produce.
+    """
+    n = graph.n_nodes
+    seen: set[tuple[int, int]] = set()
+    delta: list[tuple[int, int, float, float]] = []
+
+    n_existing = min(graph.n_edges, max(1, (3 * n_edges) // 4))
+    for e in rng.choice(graph.n_edges, size=n_existing, replace=False):
+        u = int(graph.edge_src[e])
+        v = int(graph.edge_dst[e])
+        seen.add((u, v))
+        delta.append((u, v, float(graph.edge_probabilities[e]),
+                      float(rng.uniform())))
+
+    while len(delta) < n_edges:
+        u, v = rng.integers(0, n, size=2)
+        u, v = int(min(u, v)), int(max(u, v))
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        delta.append((u, v, float(graph.probability(u, v)),
+                      float(rng.uniform())))
+    return delta
+
+
+def run_check_comparison(
+    scale: float = OBF_SCALE,
+    n_deltas: int = OBF_DELTAS,
+    delta_edges: int = OBF_EDGES,
+    seed: int = OBF_SEED,
+    k: int = OBF_K,
+    epsilon: float = OBF_EPSILON,
+) -> dict:
+    """Time both checkers over the same delta stream; verify bit-equality.
+
+    Returns ``{"rows": [[checker, seconds, per_check_ms, speedup], ...],
+    "graph": (n_nodes, n_edges), "n_deltas": D, "delta_edges": B,
+    "identical": bool}``.  Checker timings cover the *steady state* of the
+    trial loop (cache construction is one-off per anonymization run and
+    excluded, exactly as in :meth:`Chameleon.anonymize`).
+    """
+    graph = load_profile("brightkite", scale=scale, seed=seed)
+    rng = np.random.default_rng(seed)
+    deltas = [_sample_delta(graph, delta_edges, rng) for __ in range(n_deltas)]
+
+    cache = DegreeUncertaintyCache(graph)
+    knowledge = cache.knowledge
+
+    # Warm-up both paths (imports, allocator) on the first delta.
+    warm = deltas[0]
+    cache.check_delta(warm, k, epsilon, knowledge=knowledge)
+    check_obfuscation(
+        overlay(graph, ((u, v, p_new) for u, v, __, p_new in warm)),
+        k, epsilon, knowledge=knowledge,
+    )
+
+    started = time.perf_counter()
+    full_reports = [
+        check_obfuscation(
+            overlay(graph, ((u, v, p_new) for u, v, __, p_new in delta)),
+            k, epsilon, knowledge=knowledge,
+        )
+        for delta in deltas
+    ]
+    full_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    incremental_reports = [
+        cache.check_delta(delta, k, epsilon, knowledge=knowledge)
+        for delta in deltas
+    ]
+    incremental_seconds = time.perf_counter() - started
+
+    identical = all(
+        np.array_equal(f.entropies, i.entropies)
+        and np.array_equal(f.obfuscated, i.obfuscated)
+        and f.epsilon_achieved == i.epsilon_achieved
+        and f.satisfied == i.satisfied
+        for f, i in zip(full_reports, incremental_reports)
+    )
+    rows = [
+        ["full", full_seconds, 1000.0 * full_seconds / n_deltas, 1.0],
+        ["incremental", incremental_seconds,
+         1000.0 * incremental_seconds / n_deltas,
+         full_seconds / incremental_seconds],
+    ]
+    return {
+        "rows": rows,
+        "graph": (graph.n_nodes, graph.n_edges),
+        "n_deltas": n_deltas,
+        "delta_edges": delta_edges,
+        "identical": identical,
+        "speedup": full_seconds / incremental_seconds,
+    }
+
+
+def test_bench_obfuscation_check():
+    """Full-scale checker comparison (the recorded benchmark)."""
+    import _harness
+
+    result = run_check_comparison()
+    n_nodes, n_edges = result["graph"]
+    table = _harness.format_table(
+        ["checker", "seconds", "ms/check", "speedup"],
+        result["rows"],
+    )
+    header = (
+        f"brightkite-like profile: n={n_nodes} |E|={n_edges} "
+        f"D={result['n_deltas']} candidate checks x "
+        f"{result['delta_edges']} perturbed edges "
+        f"(k={OBF_K}, eps={OBF_EPSILON})\n"
+        f"reports bit-identical: {result['identical']}\n"
+    )
+    _harness.emit("bench_obfuscation_check", header + table)
+    assert result["identical"], "incremental and full reports diverged"
+    assert result["speedup"] >= 5.0, (
+        f"expected >= 5x speedup, got {result['speedup']:.2f}x"
+    )

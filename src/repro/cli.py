@@ -25,7 +25,11 @@ from .core import anonymize
 from .datasets import dataset_tolerance, load_dataset
 from .exceptions import ReproError
 from .metrics import compare_graphs
-from .privacy import check_obfuscation, expected_degree_knowledge
+from .privacy import (
+    OBFUSCATION_CHECKERS,
+    check_obfuscation,
+    expected_degree_knowledge,
+)
 from .reliability.connectivity import CONNECTIVITY_BACKENDS
 from .ugraph import read_edge_list, summarize, write_edge_list
 
@@ -78,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="tolerance (defaults to the profile's)")
     anon.add_argument("--trials", type=int, default=5)
     anon.add_argument("--seed", type=int, default=None)
+    anon.add_argument(
+        "--checker", default="incremental", choices=OBFUSCATION_CHECKERS,
+        help="(k, epsilon) checker for the GenObf trial loop "
+             "(incremental: delta-based degree-pmf cache; "
+             "full: per-trial matrix rebuild, the correctness oracle)",
+    )
     _add_backend_arguments(anon)
 
     check = sub.add_parser("check", help="evaluate (k, epsilon)-obfuscation")
@@ -157,7 +167,8 @@ def _cmd_anonymize(args) -> int:
         result = anonymize(graph, args.k, epsilon, method=args.method,
                            seed=args.seed, n_trials=args.trials,
                            connectivity_backend=args.backend,
-                           n_workers=args.workers)
+                           n_workers=args.workers,
+                           obfuscation_checker=args.checker)
     if not result.success:
         print(
             f"FAILED: no (k={args.k}, eps={epsilon}) obfuscation found",

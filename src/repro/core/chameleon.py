@@ -28,6 +28,7 @@ import numpy as np
 
 from .._rng import as_generator
 from ..privacy.degree_distribution import expected_degree_knowledge
+from ..privacy.incremental import DegreeUncertaintyCache
 from ..ugraph.graph import UncertainGraph
 from ..ugraph.validation import validate_graph, validate_privacy_parameters
 from .config import ChameleonConfig, variant_config
@@ -90,6 +91,13 @@ class Chameleon:
 
         started = time.perf_counter()
         context = build_selection_context(graph, config, knowledge, seed=rng)
+        # One degree-pmf cache serves every GenObf trial of every sigma
+        # probe: all candidates are deltas against the same base graph.
+        cache = (
+            DegreeUncertaintyCache(graph, knowledge=context.knowledge)
+            if config.obfuscation_checker == "incremental"
+            else None
+        )
         history: list[tuple[float, float]] = []
         calls = 0
 
@@ -102,7 +110,8 @@ class Chameleon:
         def run(sigma: float) -> GenObfOutcome:
             nonlocal calls
             calls += 1
-            outcome = gen_obf(graph, config, sigma, context, seed=rng)
+            outcome = gen_obf(graph, config, sigma, context, seed=rng,
+                              cache=cache)
             history.append((outcome.sigma, outcome.epsilon_achieved))
             logger.debug(
                 "GenObf sigma=%.5g -> eps_hat=%.4g (%s)",
@@ -149,7 +158,10 @@ class Chameleon:
                 method=config.name,
                 k=config.k,
                 epsilon=config.epsilon,
-                sigma=float(probes[-1]),
+                # Bracketing probed alternating 2^i / 2^-i multiples, so
+                # probes[-1] is the *smallest* downward probe; the noise
+                # range actually exhausted is the largest sigma tried.
+                sigma=float(max(probes)),
                 epsilon_achieved=1.0,
                 report=None,
                 n_genobf_calls=calls,

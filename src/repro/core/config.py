@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..exceptions import ConfigurationError
+from ..privacy.incremental import OBFUSCATION_CHECKERS
 from ..reliability.connectivity import CONNECTIVITY_BACKENDS
 
 __all__ = ["ChameleonConfig", "variant_config", "VARIANTS"]
@@ -57,6 +58,12 @@ class ChameleonConfig:
     n_workers:
         Worker count for the ``"process"`` connectivity backend; ``None``
         defers to ``REPRO_NUM_WORKERS`` / CPU count.
+    obfuscation_checker:
+        ``"incremental"`` (default) runs the GenObf trial loop on a
+        :class:`repro.privacy.DegreeUncertaintyCache`, recomputing degree
+        pmfs only for the endpoints of perturbed candidate edges;
+        ``"full"`` rebuilds the whole degree-uncertainty matrix per trial
+        (the correctness oracle -- both produce bit-identical reports).
     selection_mode:
         ``"reliability-sensitive"`` folds (1 - normalized VRR) into the
         vertex sampling weights; ``"uniqueness-only"`` uses uniqueness
@@ -86,6 +93,7 @@ class ChameleonConfig:
     relevance_method: str = "merge-gain"
     connectivity_backend: str = "scipy"
     n_workers: int | None = None
+    obfuscation_checker: str = "incremental"
     selection_mode: str = "reliability-sensitive"
     perturbation_mode: str = "max-entropy"
     sigma_initial: float = 1.0
@@ -125,6 +133,11 @@ class ChameleonConfig:
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1 (or None for auto), got {self.n_workers}"
+            )
+        if self.obfuscation_checker not in OBFUSCATION_CHECKERS:
+            raise ConfigurationError(
+                "obfuscation_checker must be one of "
+                f"{OBFUSCATION_CHECKERS}, got {self.obfuscation_checker!r}"
             )
         if self.selection_mode not in _SELECTION_MODES:
             raise ConfigurationError(

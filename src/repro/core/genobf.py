@@ -11,7 +11,11 @@ trials; each trial
    per-edge scale equals ``sigma``,
 3. perturbs the candidate probabilities (:mod:`repro.core.noise`), and
 4. checks the (k, epsilon)-obfuscation criterion against the adversary
-   knowledge extracted from the *original* graph.
+   knowledge extracted from the *original* graph -- by default through
+   the incremental :class:`repro.privacy.DegreeUncertaintyCache`, which
+   recomputes degree pmfs only for the perturbed edges' endpoints
+   (``ChameleonConfig.obfuscation_checker`` switches back to the full
+   per-trial matrix rebuild, kept as the correctness oracle).
 
 The best (lowest achieved epsilon) satisfying candidate over the trials
 is returned; the sentinel ``epsilon_achieved = 1`` reports total failure,
@@ -31,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._rng import as_generator
+from ..privacy.incremental import DegreeUncertaintyCache
 from ..privacy.obfuscation import check_obfuscation
 from ..privacy.uniqueness import degree_uniqueness
 from ..reliability.relevance import compute_relevance
@@ -128,7 +133,8 @@ def build_selection_context(
 
 
 def _edge_noise_scales(
-    pairs: list[tuple[int, int]],
+    us: np.ndarray,
+    vs: np.ndarray,
     vertex_scores: np.ndarray,
     sigma: float,
 ) -> np.ndarray:
@@ -138,15 +144,13 @@ def _edge_noise_scales(
     ``Q^e = (Q^u + Q^v) / 2`` (Algorithm 3, "edge perturbation").  A
     degenerate all-zero score vector falls back to the uniform budget.
     """
-    if not pairs:
+    if us.size == 0:
         return np.zeros(0, dtype=np.float64)
-    us = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
-    vs = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
     q_edge = (vertex_scores[us] + vertex_scores[vs]) / 2.0
     total = q_edge.sum()
     if total <= 0.0:
-        return np.full(len(pairs), sigma, dtype=np.float64)
-    return sigma * len(pairs) * q_edge / total
+        return np.full(us.size, sigma, dtype=np.float64)
+    return sigma * us.size * q_edge / total
 
 
 def gen_obf(
@@ -155,13 +159,28 @@ def gen_obf(
     sigma: float,
     context: SelectionContext,
     seed=None,
+    cache: DegreeUncertaintyCache | None = None,
 ) -> GenObfOutcome:
     """One GenObf call: ``t`` trials at noise level ``sigma``.
 
     Returns the best satisfying candidate or the failure sentinel
     (``epsilon_achieved == 1``).
+
+    With ``config.obfuscation_checker == "incremental"`` each trial is
+    checked as a *delta* against ``graph`` through a
+    :class:`DegreeUncertaintyCache` -- only the endpoints of perturbed
+    candidate edges recompute their degree pmfs, and the candidate graph
+    is materialized only when a trial actually improves the best.  Pass
+    ``cache`` (built once per anonymization run by
+    :meth:`repro.core.chameleon.Chameleon.anonymize`) to reuse the base
+    pmfs across every sigma probe; otherwise one is built per call.
+    The ``"full"`` checker rebuilds the matrix per trial and serves as
+    the correctness oracle -- both return bit-identical reports.
     """
     rng = as_generator(seed)
+    incremental = config.obfuscation_checker == "incremental"
+    if incremental and cache is None:
+        cache = DegreeUncertaintyCache(graph, knowledge=context.knowledge)
     best_epsilon = FAILURE_EPSILON
     best_graph = None
     best_report = None
@@ -175,8 +194,10 @@ def gen_obf(
         )
         if not pairs:
             continue
-        current = np.asarray([graph.probability(u, v) for u, v in pairs])
-        scales = _edge_noise_scales(pairs, context.weights, sigma)
+        us = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+        vs = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+        current = graph.pair_probabilities(us, vs)
+        scales = _edge_noise_scales(us, vs, context.weights, sigma)
         perturbed = perturb_probabilities(
             current,
             scales,
@@ -184,13 +205,26 @@ def gen_obf(
             white_noise=config.white_noise,
             seed=rng,
         )
-        candidate = overlay(
-            graph, ((u, v, p) for (u, v), p in zip(pairs, perturbed))
-        )
-        report = check_obfuscation(
-            candidate, config.k, config.epsilon, knowledge=context.knowledge
-        )
+        if incremental:
+            delta = list(zip(us.tolist(), vs.tolist(), current.tolist(),
+                             perturbed.tolist()))
+            report = cache.check_delta(
+                delta, config.k, config.epsilon, knowledge=context.knowledge
+            )
+            candidate = None
+        else:
+            candidate = overlay(
+                graph, ((u, v, p) for (u, v), p in zip(pairs, perturbed))
+            )
+            report = check_obfuscation(
+                candidate, config.k, config.epsilon,
+                knowledge=context.knowledge,
+            )
         if report.satisfied and report.epsilon_achieved < best_epsilon:
+            if candidate is None:
+                candidate = overlay(
+                    graph, ((u, v, p) for (u, v), p in zip(pairs, perturbed))
+                )
             best_epsilon = report.epsilon_achieved
             best_graph = candidate
             best_report = report

@@ -4,6 +4,8 @@
   pmfs and the degree-uncertainty matrix.
 * :func:`check_obfuscation` -- the (k, epsilon)-obfuscation criterion
   (Definition 3).
+* :class:`DegreeUncertaintyCache` -- the incremental, delta-based
+  obfuscation checker GenObf's trial loop runs on.
 * :func:`degree_uniqueness` -- kernel-density uniqueness scores
   (Definition 4).
 * :mod:`repro.privacy.attack` -- Bayesian degree-adversary simulation.
@@ -29,7 +31,13 @@ from .entropy import (
     normal_differential_entropy,
     shannon_entropy,
 )
-from .obfuscation import ObfuscationReport, check_obfuscation, column_entropy_profile
+from .incremental import OBFUSCATION_CHECKERS, DegreeUncertaintyCache
+from .obfuscation import (
+    ObfuscationReport,
+    check_obfuscation,
+    column_entropy_profile,
+    report_from_entropy_profile,
+)
 from .properties import (
     ComponentSizeProperty,
     DegreeProperty,
@@ -69,6 +77,9 @@ __all__ = [
     "ObfuscationReport",
     "check_obfuscation",
     "column_entropy_profile",
+    "report_from_entropy_profile",
+    "OBFUSCATION_CHECKERS",
+    "DegreeUncertaintyCache",
     "commonness_scores",
     "uniqueness_scores",
     "degree_uniqueness",

@@ -80,8 +80,10 @@ def degree_uncertainty_matrix(
 
     ``D`` defaults to the largest possible degree (the maximum number of
     positive-probability incident edges over all vertices).  Rows whose
-    support exceeds an explicit ``max_degree`` are truncated (mass above
-    the cap is dropped), which callers use to bound matrix width.
+    support exceeds an explicit ``max_degree`` fold the tail mass
+    ``Pr[deg(u) >= max_degree]`` into the last bucket, so every row stays
+    a distribution (sums to 1) no matter how tight the cap -- callers cap
+    the matrix *width*, never the probability mass.
     """
     incident = incident_probability_lists(graph)
     widest = max((len(b) for b in incident), default=0)
@@ -89,8 +91,11 @@ def degree_uncertainty_matrix(
     matrix = np.zeros((graph.n_nodes, width), dtype=np.float64)
     for u, probabilities in enumerate(incident):
         pmf = poisson_binomial_pmf(probabilities)
-        take = min(pmf.shape[0], width)
-        matrix[u, :take] = pmf[:take]
+        if pmf.shape[0] > width:
+            matrix[u, : width - 1] = pmf[: width - 1]
+            matrix[u, width - 1] = pmf[width - 1 :].sum()
+        else:
+            matrix[u, : pmf.shape[0]] = pmf
     return matrix
 
 

@@ -1,0 +1,250 @@
+"""Incremental (k, epsilon)-obfuscation checking for trial loops.
+
+GenObf (Algorithm 3) evaluates the obfuscation criterion once per trial,
+and the sigma search of Algorithm 1 runs GenObf dozens of times -- yet a
+single trial perturbs only the candidate edge set ``E_C``, so only the
+*endpoints* of perturbed edges change their degree pmfs.  The full
+checker nevertheless reruns the ``O(d^2)`` Poisson-binomial dynamic
+program for every one of the ``n`` vertices on every call.
+
+:class:`DegreeUncertaintyCache` stores the base graph's per-vertex
+incident-probability structure and degree-pmf rows once, then answers
+:meth:`DegreeUncertaintyCache.check_delta` for a candidate expressed as
+a delta -- a list of ``(u, v, p_old, p_new)`` edge updates.  Only the
+touched endpoints rerun their dynamic program; their matrix rows are
+patched in place, the column entropies are recomputed as one vectorized
+pass, and the rows are rolled back afterwards so the cache always
+reflects the base graph and can serve the next trial.
+
+Bit-identical guarantee
+-----------------------
+The cache reproduces exactly what the full pipeline would compute for
+``overlay(base, delta)``:
+
+* A touched vertex's incident probabilities are reassembled in the same
+  order the candidate graph would store them (original edges in dense
+  order, then new edges in delta order), so the DP convolutions run over
+  the same float sequence and yield bit-identical pmfs.
+* Untouched rows are reused verbatim.
+* The cached matrix may be *wider* than the candidate's (it only ever
+  grows); extra trailing all-zero columns have entropy ``+inf``, exactly
+  the value :func:`~repro.privacy.obfuscation.report_from_entropy_profile`
+  pads out-of-support knowledge with, so reports are unaffected.
+* The final report is assembled by the same shared
+  :func:`~repro.privacy.obfuscation.report_from_entropy_profile` code.
+
+Property tests in ``tests/test_incremental.py`` assert report equality
+(entropies, mask, epsilon-hat -- all bitwise) against the full checker
+across randomized graphs and deltas, and
+``benchmarks/bench_obfuscation_check.py`` records the speedup on a
+GenObf-shaped workload.  The full recompute stays available as the
+correctness oracle behind ``ChameleonConfig.obfuscation_checker``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ObfuscationError
+from ..ugraph.graph import UncertainGraph
+from .degree_distribution import expected_degree_knowledge, poisson_binomial_pmf
+from .entropy import column_entropies
+from .obfuscation import ObfuscationReport, report_from_entropy_profile
+
+__all__ = ["OBFUSCATION_CHECKERS", "DegreeUncertaintyCache"]
+
+#: Selectable checker implementations for ``ChameleonConfig``.
+OBFUSCATION_CHECKERS = ("incremental", "full")
+
+
+class DegreeUncertaintyCache:
+    """Per-run cache answering delta-based (k, epsilon)-obfuscation checks.
+
+    Parameters
+    ----------
+    graph:
+        The base uncertain graph every delta is applied against (for
+        GenObf: the graph being anonymized -- all trials at all sigma
+        levels perturb this one graph).
+    knowledge:
+        Default adversary degree knowledge for :meth:`check_delta`.
+        Defaults to the *base* graph's expected-degree knowledge, which
+        is what anonymization checks against (note the difference from
+        :func:`~repro.privacy.obfuscation.check_obfuscation`, whose
+        default is extracted from the published candidate).
+    """
+
+    def __init__(
+        self, graph: UncertainGraph, knowledge: np.ndarray | None = None
+    ):
+        self._graph = graph
+        self._n = graph.n_nodes
+        if knowledge is None:
+            knowledge = expected_degree_knowledge(graph)
+        self._knowledge = np.asarray(knowledge, dtype=np.int64)
+        if self._knowledge.shape != (self._n,):
+            raise ObfuscationError(
+                f"knowledge has shape {self._knowledge.shape}, expected "
+                f"({self._n},)"
+            )
+
+        # Dense incident edge ids per vertex, in edge order -- the order
+        # incident_probability_lists() walks, which fixes the DP's float
+        # operation sequence.
+        incident_ids: list[list[int]] = [[] for __ in range(self._n)]
+        for i, (u, v) in enumerate(
+            zip(graph.edge_src.tolist(), graph.edge_dst.tolist())
+        ):
+            incident_ids[u].append(i)
+            incident_ids[v].append(i)
+        self._incident_ids = incident_ids
+
+        # Base-graph pmf rows assembled into the degree-uncertainty
+        # matrix.  The matrix only ever grows wider (extra all-zero
+        # columns are report-neutral), never shrinks.
+        pmfs = [
+            poisson_binomial_pmf(self._incident_probabilities(w, {}, ()))
+            for w in range(self._n)
+        ]
+        width = max((pmf.shape[0] for pmf in pmfs), default=1)
+        self._matrix = np.zeros((self._n, width), dtype=np.float64)
+        for w, pmf in enumerate(pmfs):
+            self._matrix[w, : pmf.shape[0]] = pmf
+
+    @property
+    def graph(self) -> UncertainGraph:
+        return self._graph
+
+    @property
+    def knowledge(self) -> np.ndarray:
+        return self._knowledge
+
+    def _incident_probabilities(
+        self,
+        vertex: int,
+        overrides: dict[int, float],
+        new_edges: tuple[tuple[int, int, float], ...],
+    ) -> np.ndarray:
+        """Positive incident probabilities of ``vertex`` under a delta.
+
+        Original edges come first in dense order (with overridden
+        probabilities applied), then delta-introduced edges in delta
+        order -- the exact order ``overlay`` + ``incident_probability_
+        lists`` would produce for the candidate graph.
+        """
+        base = self._graph.edge_probabilities
+        probs = []
+        for eid in self._incident_ids[vertex]:
+            p = overrides.get(eid)
+            if p is None:
+                p = float(base[eid])
+            if p > 0.0:
+                probs.append(p)
+        for u, v, p in new_edges:
+            if p > 0.0 and (u == vertex or v == vertex):
+                probs.append(p)
+        return np.asarray(probs, dtype=np.float64)
+
+    def _parse_delta(self, delta):
+        """Validate a delta and split it into overrides / new edges.
+
+        Returns ``(overrides, new_edges, touched)`` where ``overrides``
+        maps dense edge ids to new probabilities, ``new_edges`` lists
+        delta-introduced ``(u, v, p)`` triples in delta order, and
+        ``touched`` is the set of vertices whose pmf actually changes.
+        No-op entries (``p_new == p_old``) are dropped.
+        """
+        graph = self._graph
+        overrides: dict[int, float] = {}
+        new_edges: list[tuple[int, int, float]] = []
+        touched: set[int] = set()
+        seen: set[tuple[int, int]] = set()
+        for u, v, p_old, p_new in delta:
+            u, v = int(u), int(v)
+            if u == v:
+                raise ObfuscationError(f"delta contains self-loop on vertex {u}")
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise ObfuscationError(
+                    f"delta edge ({u}, {v}) references a vertex outside "
+                    f"0..{self._n - 1}"
+                )
+            pair = (u, v) if u < v else (v, u)
+            if pair in seen:
+                raise ObfuscationError(f"duplicate delta entry for edge {pair}")
+            seen.add(pair)
+            p_old = float(p_old)
+            p_new = float(p_new)
+            if not np.isfinite(p_new) or p_new < 0.0 or p_new > 1.0:
+                raise ObfuscationError(
+                    f"delta edge {pair} has probability {p_new!r}, expected "
+                    "a finite value in [0, 1]"
+                )
+            stored = graph.probability(*pair)
+            if p_old != stored:
+                raise ObfuscationError(
+                    f"stale delta: edge {pair} has base probability "
+                    f"{stored!r}, delta claims {p_old!r}"
+                )
+            if p_new == p_old:
+                continue
+            if graph.has_edge(*pair):
+                overrides[graph.edge_id(*pair)] = p_new
+            else:
+                new_edges.append((pair[0], pair[1], p_new))
+            touched.add(u)
+            touched.add(v)
+        return overrides, tuple(new_edges), touched
+
+    def check_delta(
+        self,
+        delta,
+        k: int,
+        epsilon: float,
+        knowledge: np.ndarray | None = None,
+    ) -> ObfuscationReport:
+        """Evaluate Definition 3 for ``overlay(base, delta)``.
+
+        ``delta`` is an iterable of ``(u, v, p_old, p_new)`` tuples;
+        ``p_old`` must match the base graph (a mismatch means the caller
+        holds a stale view and raises).  The returned report is
+        bit-identical to ``check_obfuscation`` on the materialized
+        candidate.  The cache state is rolled back before returning, so
+        consecutive calls are independent.
+        """
+        if knowledge is None:
+            knowledge = self._knowledge
+        overrides, new_edges, touched = self._parse_delta(delta)
+
+        new_pmfs = {
+            w: poisson_binomial_pmf(
+                self._incident_probabilities(w, overrides, new_edges)
+            )
+            for w in sorted(touched)
+        }
+        needed = max(
+            (pmf.shape[0] for pmf in new_pmfs.values()), default=0
+        )
+        if needed > self._matrix.shape[1]:
+            grown = np.zeros((self._n, needed), dtype=np.float64)
+            grown[:, : self._matrix.shape[1]] = self._matrix
+            self._matrix = grown
+
+        saved = {w: self._matrix[w].copy() for w in new_pmfs}
+        try:
+            for w, pmf in new_pmfs.items():
+                row = self._matrix[w]
+                row[:] = 0.0
+                row[: pmf.shape[0]] = pmf
+            profile = column_entropies(self._matrix)
+            return report_from_entropy_profile(
+                profile, knowledge, k, epsilon, n_nodes=self._n
+            )
+        finally:
+            for w, row in saved.items():
+                self._matrix[w] = row
+
+    def check_base(
+        self, k: int, epsilon: float, knowledge: np.ndarray | None = None
+    ) -> ObfuscationReport:
+        """The empty-delta check: the base graph itself."""
+        return self.check_delta((), k, epsilon, knowledge=knowledge)

@@ -24,7 +24,12 @@ from ..ugraph.graph import UncertainGraph
 from .degree_distribution import degree_uncertainty_matrix, expected_degree_knowledge
 from .entropy import column_entropies
 
-__all__ = ["ObfuscationReport", "check_obfuscation", "column_entropy_profile"]
+__all__ = [
+    "ObfuscationReport",
+    "check_obfuscation",
+    "column_entropy_profile",
+    "report_from_entropy_profile",
+]
 
 
 @dataclass(frozen=True)
@@ -63,10 +68,20 @@ class ObfuscationReport:
         return int(self.obfuscated.sum())
 
     def worst_vertices(self, count: int = 10) -> np.ndarray:
-        """Vertices with the lowest obfuscation entropy, worst first."""
-        finite = np.where(np.isinf(self.entropies), np.inf, self.entropies)
-        order = np.argsort(finite, kind="stable")
-        return order[: int(count)]
+        """Vertices with the lowest obfuscation entropy, worst first.
+
+        Finite entropies are ranked ascending; vertices whose entropy is
+        ``+inf`` (vacuously obfuscated: the adversary's value has no
+        support) are appended only after every finite-entropy vertex, so
+        they can never crowd a genuinely weak vertex out of the list.
+        """
+        finite = np.flatnonzero(np.isfinite(self.entropies))
+        ranked = finite[np.argsort(self.entropies[finite], kind="stable")]
+        count = int(count)
+        if ranked.size >= count:
+            return ranked[:count]
+        vacuous = np.flatnonzero(~np.isfinite(self.entropies))
+        return np.concatenate([ranked, vacuous])[:count]
 
     def __repr__(self) -> str:
         return (
@@ -86,6 +101,56 @@ def column_entropy_profile(
     """
     matrix = degree_uncertainty_matrix(graph, max_degree=max_degree)
     return column_entropies(matrix)
+
+
+def report_from_entropy_profile(
+    profile: np.ndarray,
+    knowledge: np.ndarray,
+    k: int,
+    epsilon: float,
+    n_nodes: int | None = None,
+) -> ObfuscationReport:
+    """Assemble an :class:`ObfuscationReport` from a column-entropy profile.
+
+    Shared terminal step of the full checker and of the incremental
+    :class:`repro.privacy.incremental.DegreeUncertaintyCache`: both paths
+    funnel their entropy profiles through these exact float operations so
+    their reports compare bit-identical.  Knowledge values beyond the
+    profile's support are padded with ``+inf`` (empty candidate set --
+    vacuously obfuscated), which also makes profiles that differ only by
+    trailing all-zero columns (entropy ``+inf``) interchangeable.
+    """
+    if k < 1:
+        raise ObfuscationError(f"k must be >= 1, got {k}")
+    if not 0.0 <= epsilon < 1.0:
+        raise ObfuscationError(f"epsilon must be in [0, 1), got {epsilon}")
+    knowledge = np.asarray(knowledge, dtype=np.int64)
+    if n_nodes is not None and knowledge.shape != (n_nodes,):
+        raise ObfuscationError(
+            f"knowledge has shape {knowledge.shape}, expected ({n_nodes},)"
+        )
+    if knowledge.size and knowledge.min() < 0:
+        raise ObfuscationError("degree knowledge must be non-negative")
+    profile = np.asarray(profile, dtype=np.float64)
+
+    width = int(knowledge.max(initial=0)) if knowledge.size else 0
+    padded = np.full(max(width + 1, profile.shape[0]), np.inf)
+    padded[: profile.shape[0]] = profile
+
+    entropies = padded[knowledge]
+    threshold = np.log2(k)
+    obfuscated = entropies >= threshold
+    # Computed as bad/n directly (not 1 - mean) so that e.g. exactly 5
+    # non-obfuscated vertices out of 100 compares equal to epsilon = 0.05.
+    n = obfuscated.size
+    epsilon_achieved = float((n - obfuscated.sum()) / n) if n else 0.0
+    return ObfuscationReport(
+        k=int(k),
+        epsilon=float(epsilon),
+        entropies=entropies,
+        obfuscated=obfuscated,
+        epsilon_achieved=epsilon_achieved,
+    )
 
 
 def check_obfuscation(
@@ -115,33 +180,9 @@ def check_obfuscation(
         raise ObfuscationError(f"epsilon must be in [0, 1), got {epsilon}")
     if knowledge is None:
         knowledge = expected_degree_knowledge(published)
-    knowledge = np.asarray(knowledge, dtype=np.int64)
-    if knowledge.shape != (published.n_nodes,):
-        raise ObfuscationError(
-            f"knowledge has shape {knowledge.shape}, expected "
-            f"({published.n_nodes},)"
-        )
-    if knowledge.size and knowledge.min() < 0:
-        raise ObfuscationError("degree knowledge must be non-negative")
-
-    width = int(knowledge.max(initial=0)) if knowledge.size else 0
     profile = column_entropy_profile(published, max_degree=None)
     # Knowledge values beyond the published graph's possible degrees have
     # empty candidate sets: entropy +inf (see column_entropies).
-    padded = np.full(max(width + 1, profile.shape[0]), np.inf)
-    padded[: profile.shape[0]] = profile
-
-    entropies = padded[knowledge]
-    threshold = np.log2(k)
-    obfuscated = entropies >= threshold
-    # Computed as bad/n directly (not 1 - mean) so that e.g. exactly 5
-    # non-obfuscated vertices out of 100 compares equal to epsilon = 0.05.
-    n = obfuscated.size
-    epsilon_achieved = float((n - obfuscated.sum()) / n) if n else 0.0
-    return ObfuscationReport(
-        k=int(k),
-        epsilon=float(epsilon),
-        entropies=entropies,
-        obfuscated=obfuscated,
-        epsilon_achieved=epsilon_achieved,
+    return report_from_entropy_profile(
+        profile, knowledge, k, epsilon, n_nodes=published.n_nodes
     )

@@ -131,6 +131,7 @@ class UncertainGraph:
                 f"labels has {len(self._labels)} entries for {self._n} vertices"
             )
         self._adjacency_cache: list[list[int]] | None = None
+        self._pair_key_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -186,6 +187,53 @@ class UncertainGraph:
         """Existence probability of edge ``(u, v)``; 0.0 if not stored."""
         i = self._index.get(_canonical(u, v))
         return float(self._prob[i]) if i is not None else 0.0
+
+    def _pair_key_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``u * n + v`` edge keys plus the matching edge-id order.
+
+        Structure-only (probability-independent), so clones produced by
+        :meth:`with_probabilities` share it.
+        """
+        if self._pair_key_cache is None:
+            keys = self._src * np.int64(self._n) + self._dst
+            order = np.argsort(keys, kind="stable")
+            self._pair_key_cache = (keys[order], order)
+        return self._pair_key_cache
+
+    def pair_probabilities(self, us, vs) -> np.ndarray:
+        """Vectorized :meth:`probability` over parallel endpoint arrays.
+
+        Returns the existence probability of each ``(us[i], vs[i])``
+        pair, 0.0 for pairs that are not stored edges (including
+        out-of-range or degenerate pairs, matching the scalar lookup).
+        Hot loops (the GenObf trial loop) use this to price a whole
+        candidate edge set with one sorted-key search instead of per-pair
+        dict lookups.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise GraphConstructionError(
+                f"endpoint arrays must be 1-D and parallel, got shapes "
+                f"{us.shape} / {vs.shape}"
+            )
+        out = np.zeros(us.shape, dtype=np.float64)
+        if us.size == 0 or self.n_edges == 0:
+            return out
+        lo = np.minimum(us, vs)
+        hi = np.maximum(us, vs)
+        keys = lo * np.int64(self._n) + hi
+        sorted_keys, order = self._pair_key_index()
+        pos = np.searchsorted(sorted_keys, keys)
+        pos = np.minimum(pos, sorted_keys.size - 1)
+        hit = (
+            (sorted_keys[pos] == keys)
+            & (lo >= 0)
+            & (hi < self._n)
+            & (lo != hi)
+        )
+        out[hit] = self._prob[order[pos[hit]]]
+        return out
 
     def endpoint_pairs(self) -> Iterator[tuple[int, int]]:
         """Iterate over ``(u, v)`` endpoint pairs without probabilities."""
@@ -265,6 +313,7 @@ class UncertainGraph:
         clone._index = self._index
         clone._labels = self._labels
         clone._adjacency_cache = self._adjacency_cache
+        clone._pair_key_cache = self._pair_key_cache
         return clone
 
     def with_edges(self, edges: Iterable[tuple[int, int, float]]) -> "UncertainGraph":

@@ -1,10 +1,12 @@
-"""Tier-1 smoke run of the connectivity benchmark (tiny scale).
+"""Tier-1 smoke runs of the perf benchmarks (tiny scale).
 
-Executes ``benchmarks/bench_connectivity_backends.py``'s comparison
-routine at a size where timing is meaningless but every backend's code
-path -- including the multiprocess pool -- is exercised on each test
-run.  Marked ``benchmark_smoke`` so it can be selected or skipped with
-``-m``.
+Executes the comparison routines of
+``benchmarks/bench_connectivity_backends.py`` and
+``benchmarks/bench_obfuscation_check.py`` at sizes where timing is
+meaningless but every backend / checker code path -- including the
+multiprocess pool and the incremental delta cache -- is exercised on
+each test run.  Marked ``benchmark_smoke`` so they can be selected or
+skipped with ``-m``.
 """
 
 import sys
@@ -17,6 +19,7 @@ if BENCHMARKS_DIR not in sys.path:
     sys.path.insert(0, BENCHMARKS_DIR)
 
 import bench_connectivity_backends as bench  # noqa: E402
+import bench_obfuscation_check as bench_obf  # noqa: E402
 
 
 @pytest.mark.benchmark_smoke
@@ -28,6 +31,19 @@ def test_backend_comparison_smoke():
     backends = [row[0] for row in result["rows"]]
     assert set(backends) == {"scipy", "python", "batched-scipy", "process"}
     assert all(row[4] for row in result["rows"]), "backend partitions diverged"
+    assert all(row[1] >= 0.0 for row in result["rows"])
+
+
+@pytest.mark.benchmark_smoke
+def test_obfuscation_check_comparison_smoke():
+    """Both checker paths at tiny scale; reports must stay bit-identical."""
+    result = bench_obf.run_check_comparison(
+        scale=0.15, n_deltas=4, delta_edges=6
+    )
+    assert result["n_deltas"] == 4
+    assert result["identical"], "incremental and full reports diverged"
+    checkers = [row[0] for row in result["rows"]]
+    assert checkers == ["full", "incremental"]
     assert all(row[1] >= 0.0 for row in result["rows"])
 
 

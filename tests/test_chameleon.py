@@ -104,6 +104,43 @@ class TestChameleonClass:
         assert result.graph is None
         assert result.epsilon_achieved == 1.0
 
+    def test_hard_failure_reports_largest_probed_sigma(self):
+        """Regression: the failure result used to expose ``probes[-1]``,
+        which after bidirectional bracketing is the *smallest* downward
+        probe -- misreporting how much noise was actually tried.  The
+        exhausted noise range is the largest probe."""
+        star = UncertainGraph(6, [(0, i, 1.0) for i in range(1, 6)])
+        cfg = variant_config(
+            "me", k=6, epsilon=0.0, n_trials=1, sigma_initial=1.0,
+            sigma_max=4.0, relevance_samples=50,
+        )
+        result = Chameleon(cfg).anonymize(star, seed=12)
+        assert not result.success
+        # Probes alternate 1, 2, 0.5, 4, 0.25, ... 2^-i down to the
+        # floor; the reported sigma must be the 4.0 ceiling, not the
+        # last (tiny) downward probe.
+        probed = [s for s, __ in result.sigma_history]
+        assert result.sigma == max(probed) == 4.0
+
+    def test_checker_paths_agree_end_to_end(self, graph):
+        """Algorithm 1 must be checker-invariant: both checkers consume
+        the rng identically, so a shared seed gives identical searches."""
+        results = {}
+        for checker in ("incremental", "full"):
+            cfg = variant_config(
+                "me", k=4, epsilon=0.05, obfuscation_checker=checker,
+                **FAST,
+            )
+            results[checker] = Chameleon(cfg).anonymize(graph, seed=13)
+        incremental, full = results["incremental"], results["full"]
+        assert incremental.success and full.success
+        assert incremental.sigma == full.sigma
+        assert incremental.graph == full.graph
+        assert incremental.sigma_history == full.sigma_history
+        np.testing.assert_array_equal(
+            incremental.report.entropies, full.report.entropies
+        )
+
 
 class TestUtilityOrdering:
     def test_chameleon_adds_less_noise_than_required_privacy_allows(self, graph):

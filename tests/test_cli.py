@@ -180,6 +180,39 @@ def test_backend_flags_parse():
         assert args.workers == 2
 
 
+def test_checker_flag_parses_and_rejects_unknown(capsys):
+    parser = build_parser()
+    args = parser.parse_args(["anonymize", "a.pel", "b.pel", "--k", "3"])
+    assert args.checker == "incremental"
+    args = parser.parse_args(
+        ["anonymize", "a.pel", "b.pel", "--k", "3", "--checker", "full"]
+    )
+    assert args.checker == "full"
+    with pytest.raises(SystemExit):
+        parser.parse_args(
+            ["anonymize", "a.pel", "b.pel", "--k", "3", "--checker", "magic"]
+        )
+    capsys.readouterr()
+
+
+def test_anonymize_with_full_checker(tmp_path, capsys):
+    """--checker full must produce the same output as the default
+    incremental checker (both consume the rng identically)."""
+    source = tmp_path / "orig.pel"
+    a = tmp_path / "anon-incremental.pel"
+    b = tmp_path / "anon-full.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "6"])
+    capsys.readouterr()
+    common = ["--method", "me", "--k", "4", "--epsilon", "0.08",
+              "--trials", "2", "--seed", "7"]
+    assert main(["anonymize", str(source), str(a)] + common) == 0
+    capsys.readouterr()
+    assert main(["anonymize", str(source), str(b),
+                 "--checker", "full"] + common) == 0
+    capsys.readouterr()
+    assert a.read_text() == b.read_text()
+
+
 def test_backend_flag_rejects_unknown(capsys):
     parser = build_parser()
     with pytest.raises(SystemExit):

@@ -107,6 +107,29 @@ class TestDegreeMatrix:
         m = degree_uncertainty_matrix(triangle, max_degree=1)
         assert m.shape == (3, 2)
 
+    def test_truncated_rows_remain_distributions(self, triangle):
+        """Regression: truncation used to *drop* the pmf tail, leaving
+        rows summing to < 1; the tail mass must fold into the last
+        bucket so every row stays a probability distribution."""
+        full = degree_uncertainty_matrix(triangle)
+        for max_degree in (0, 1, 2):
+            m = degree_uncertainty_matrix(triangle, max_degree=max_degree)
+            np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-12)
+            # Last bucket == its own mass plus everything beyond it.
+            np.testing.assert_allclose(
+                m[:, -1], full[:, max_degree:].sum(axis=1), atol=1e-12
+            )
+            # Buckets below the cutoff are untouched.
+            np.testing.assert_allclose(
+                m[:, :-1], full[:, :max_degree], atol=0.0
+            )
+
+    def test_truncated_rows_remain_distributions_profile(
+        self, small_profile_graph
+    ):
+        m = degree_uncertainty_matrix(small_profile_graph, max_degree=3)
+        np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-9)
+
     def test_matches_sampled_degrees(self, triangle):
         """DP pmf agrees with Monte-Carlo degree frequencies."""
         masks = sample_edge_masks(triangle, 30_000, seed=3)

@@ -87,23 +87,29 @@ class TestSelectionContext:
 class TestEdgeNoiseScales:
     def test_mean_is_sigma(self):
         scores = np.array([0.1, 0.4, 0.9, 0.2])
-        pairs = [(0, 1), (1, 2), (2, 3)]
-        scales = _edge_noise_scales(pairs, scores, sigma=0.3)
+        us = np.array([0, 1, 2], dtype=np.int64)
+        vs = np.array([1, 2, 3], dtype=np.int64)
+        scales = _edge_noise_scales(us, vs, scores, sigma=0.3)
         assert scales.mean() == pytest.approx(0.3)
 
     def test_proportional_to_endpoint_scores(self):
         scores = np.array([0.0, 1.0, 3.0])
-        pairs = [(0, 1), (1, 2)]
-        scales = _edge_noise_scales(pairs, scores, sigma=0.5)
+        us = np.array([0, 1], dtype=np.int64)
+        vs = np.array([1, 2], dtype=np.int64)
+        scales = _edge_noise_scales(us, vs, scores, sigma=0.5)
         # Q^e values: 0.5 and 2.0 -> ratio 4.
         assert scales[1] == pytest.approx(4 * scales[0])
 
     def test_zero_scores_fall_back_to_uniform(self):
-        scales = _edge_noise_scales([(0, 1)], np.zeros(2), sigma=0.2)
+        scales = _edge_noise_scales(
+            np.array([0], dtype=np.int64), np.array([1], dtype=np.int64),
+            np.zeros(2), sigma=0.2,
+        )
         np.testing.assert_allclose(scales, 0.2)
 
     def test_empty_pairs(self):
-        assert _edge_noise_scales([], np.zeros(2), 0.5).shape == (0,)
+        empty = np.zeros(0, dtype=np.int64)
+        assert _edge_noise_scales(empty, empty, np.zeros(2), 0.5).shape == (0,)
 
 
 class TestGenObf:
@@ -145,6 +151,45 @@ class TestGenObf:
     def test_reproducible(self, graph, config, context):
         a = gen_obf(graph, config, sigma=0.5, context=context, seed=8)
         b = gen_obf(graph, config, sigma=0.5, context=context, seed=8)
+        assert a.epsilon_achieved == b.epsilon_achieved
+        if a.success:
+            assert a.graph == b.graph
+
+
+class TestCheckerEquivalence:
+    """The incremental cache must be observationally identical to the
+    full per-trial matrix rebuild: both consume the rng the same way
+    (selection + perturbation draws only), so a shared seed yields the
+    same trial stream and must yield bit-identical outcomes."""
+
+    @pytest.mark.parametrize("sigma", [1e-9, 0.1, 0.5])
+    def test_seeded_gen_obf_outcomes_match(self, graph, context, sigma):
+        from dataclasses import replace
+
+        incremental = ChameleonConfig(
+            k=5, epsilon=0.05, n_trials=3, relevance_samples=150, seed=0
+        )
+        full = replace(incremental, obfuscation_checker="full")
+        a = gen_obf(graph, incremental, sigma=sigma, context=context, seed=11)
+        b = gen_obf(graph, full, sigma=sigma, context=context, seed=11)
+        assert a.epsilon_achieved == b.epsilon_achieved
+        assert a.success == b.success
+        if a.success:
+            assert a.graph == b.graph
+            np.testing.assert_array_equal(
+                a.report.entropies, b.report.entropies
+            )
+            np.testing.assert_array_equal(
+                a.report.obfuscated, b.report.obfuscated
+            )
+
+    def test_explicit_cache_matches_implicit(self, graph, config, context):
+        from repro.privacy import DegreeUncertaintyCache
+
+        cache = DegreeUncertaintyCache(graph, knowledge=context.knowledge)
+        a = gen_obf(graph, config, sigma=0.5, context=context, seed=12,
+                    cache=cache)
+        b = gen_obf(graph, config, sigma=0.5, context=context, seed=12)
         assert a.epsilon_achieved == b.epsilon_achieved
         if a.success:
             assert a.graph == b.graph

@@ -1,0 +1,205 @@
+"""DegreeUncertaintyCache: bit-identical equivalence with the full checker.
+
+The incremental checker's whole contract is *observational equality*: for
+any delta, ``cache.check_delta(delta, ...)`` must return exactly the
+report ``check_obfuscation(overlay(base, delta), ...)`` would -- same
+entropy floats bit for bit, same obfuscated mask, same epsilon-hat.
+These tests drive that contract with randomized graphs and deltas
+(seeded numpy sweeps plus a hypothesis property), and pin down the cache
+mechanics: rollback between calls, monotone width growth, and delta
+validation errors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ObfuscationError
+from repro.privacy import (
+    OBFUSCATION_CHECKERS,
+    DegreeUncertaintyCache,
+    check_obfuscation,
+    expected_degree_knowledge,
+)
+from repro.ugraph import UncertainGraph, overlay
+
+
+def random_graph(rng, n_nodes=None, density=0.25):
+    n = int(n_nodes if n_nodes is not None else rng.integers(3, 16))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.uniform() < density:
+                edges.append((u, v, float(rng.uniform())))
+    return UncertainGraph(n, edges)
+
+
+def random_delta(graph, rng, max_edges=8):
+    """A GenObf-like delta: existing-edge tweaks plus brand-new pairs."""
+    n = graph.n_nodes
+    n_pairs = n * (n - 1) // 2
+    size = min(int(rng.integers(0, max_edges + 1)), n_pairs)
+    seen = set()
+    delta = []
+    while len(delta) < size:
+        u, v = rng.integers(0, n, size=2)
+        u, v = int(min(u, v)), int(max(u, v))
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        p_new = float(rng.choice([0.0, 1.0, rng.uniform()]))
+        delta.append((u, v, float(graph.probability(u, v)), p_new))
+    return delta
+
+
+def assert_reports_identical(full, incremental):
+    np.testing.assert_array_equal(full.entropies, incremental.entropies)
+    np.testing.assert_array_equal(full.obfuscated, incremental.obfuscated)
+    assert full.epsilon_achieved == incremental.epsilon_achieved
+    assert full.satisfied == incremental.satisfied
+    assert full.k == incremental.k and full.epsilon == incremental.epsilon
+
+
+class TestBitIdenticalEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_and_deltas(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = random_graph(rng)
+        knowledge = expected_degree_knowledge(graph)
+        cache = DegreeUncertaintyCache(graph, knowledge=knowledge)
+        for __ in range(6):
+            delta = random_delta(graph, rng)
+            candidate = overlay(
+                graph, ((u, v, p_new) for u, v, __, p_new in delta)
+            )
+            full = check_obfuscation(
+                candidate, 3, 0.2, knowledge=knowledge
+            )
+            incremental = cache.check_delta(delta, 3, 0.2)
+            assert_reports_identical(full, incremental)
+
+    def test_empty_delta_equals_base_check(self, bridge_graph):
+        knowledge = expected_degree_knowledge(bridge_graph)
+        cache = DegreeUncertaintyCache(bridge_graph)
+        full = check_obfuscation(bridge_graph, 2, 0.1, knowledge=knowledge)
+        assert_reports_identical(full, cache.check_base(2, 0.1))
+        assert_reports_identical(full, cache.check_delta((), 2, 0.1))
+
+    def test_zeroing_and_certifying_edges(self, bridge_graph):
+        """Deltas that push probabilities to the 0 / 1 extremes change the
+        pmf support length -- the trickiest path for the in-place rows."""
+        knowledge = expected_degree_knowledge(bridge_graph)
+        cache = DegreeUncertaintyCache(bridge_graph)
+        delta = [
+            (0, 1, 0.95, 0.0),
+            (2, 3, 0.5, 1.0),
+            (0, 5, 0.0, 0.4),  # brand-new edge
+        ]
+        candidate = overlay(
+            bridge_graph, ((u, v, p) for u, v, __, p in delta)
+        )
+        full = check_obfuscation(candidate, 2, 0.1, knowledge=knowledge)
+        assert_reports_identical(full, cache.check_delta(delta, 2, 0.1))
+
+    def test_width_growth_on_new_edges(self, path4):
+        """Adding edges to the max-degree vertex widens the matrix; the
+        widened cache must still match the full checker afterwards."""
+        knowledge = expected_degree_knowledge(path4)
+        cache = DegreeUncertaintyCache(path4, knowledge=knowledge)
+        grow = [(0, 2, 0.0, 0.9), (0, 3, 0.0, 0.8)]
+        candidate = overlay(path4, ((u, v, p) for u, v, __, p in grow))
+        full = check_obfuscation(candidate, 2, 0.2, knowledge=knowledge)
+        assert_reports_identical(full, cache.check_delta(grow, 2, 0.2))
+        # ... and the next (smaller) delta still matches: rollback plus
+        # the now-wider matrix must stay report-neutral.
+        small = [(1, 2, 0.5, 0.1)]
+        candidate2 = overlay(path4, ((u, v, p) for u, v, __, p in small))
+        full2 = check_obfuscation(candidate2, 2, 0.2, knowledge=knowledge)
+        assert_reports_identical(full2, cache.check_delta(small, 2, 0.2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_property_randomized(self, data):
+        seed = data.draw(st.integers(0, 2**31 - 1), label="seed")
+        rng = np.random.default_rng(seed)
+        graph = random_graph(rng, n_nodes=data.draw(st.integers(2, 10)))
+        knowledge = expected_degree_knowledge(graph)
+        cache = DegreeUncertaintyCache(graph, knowledge=knowledge)
+        delta = random_delta(graph, rng, max_edges=5)
+        k = data.draw(st.integers(1, 6), label="k")
+        epsilon = data.draw(
+            st.floats(0.0, 0.5, allow_nan=False), label="epsilon"
+        )
+        candidate = overlay(
+            graph, ((u, v, p_new) for u, v, __, p_new in delta)
+        )
+        full = check_obfuscation(candidate, k, epsilon, knowledge=knowledge)
+        incremental = cache.check_delta(delta, k, epsilon)
+        assert_reports_identical(full, incremental)
+
+
+class TestCacheMechanics:
+    def test_rollback_between_calls(self, bridge_graph):
+        """A delta check must not leak state into the next check."""
+        cache = DegreeUncertaintyCache(bridge_graph)
+        base_before = cache.check_base(2, 0.1)
+        cache.check_delta([(2, 3, 0.5, 0.0)], 2, 0.1)
+        base_after = cache.check_base(2, 0.1)
+        assert_reports_identical(base_before, base_after)
+
+    def test_rollback_on_error_mid_sequence(self, bridge_graph):
+        cache = DegreeUncertaintyCache(bridge_graph)
+        base_before = cache.check_base(2, 0.1)
+        with pytest.raises(ObfuscationError):
+            cache.check_delta([(0, 1, 0.95, 0.5)], 0, 0.1)  # invalid k
+        assert_reports_identical(base_before, cache.check_base(2, 0.1))
+
+    def test_noop_entries_are_dropped(self, triangle):
+        cache = DegreeUncertaintyCache(triangle)
+        report = cache.check_delta([(0, 1, 0.5, 0.5)], 2, 0.3)
+        assert_reports_identical(cache.check_base(2, 0.3), report)
+
+    def test_default_knowledge_is_base_graph(self, triangle):
+        cache = DegreeUncertaintyCache(triangle)
+        np.testing.assert_array_equal(
+            cache.knowledge, expected_degree_knowledge(triangle)
+        )
+        assert cache.graph is triangle
+
+    def test_checker_registry(self):
+        assert OBFUSCATION_CHECKERS == ("incremental", "full")
+
+
+class TestDeltaValidation:
+    @pytest.fixture
+    def cache(self, triangle):
+        return DegreeUncertaintyCache(triangle)
+
+    def test_self_loop_rejected(self, cache):
+        with pytest.raises(ObfuscationError, match="self-loop"):
+            cache.check_delta([(1, 1, 0.0, 0.5)], 2, 0.1)
+
+    def test_out_of_range_vertex_rejected(self, cache):
+        with pytest.raises(ObfuscationError, match="outside"):
+            cache.check_delta([(0, 7, 0.0, 0.5)], 2, 0.1)
+
+    def test_duplicate_pair_rejected(self, cache):
+        with pytest.raises(ObfuscationError, match="duplicate"):
+            cache.check_delta(
+                [(0, 1, 0.5, 0.6), (1, 0, 0.5, 0.7)], 2, 0.1
+            )
+
+    def test_stale_p_old_rejected(self, cache):
+        with pytest.raises(ObfuscationError, match="stale"):
+            cache.check_delta([(0, 1, 0.4, 0.6)], 2, 0.1)
+
+    def test_invalid_p_new_rejected(self, cache):
+        with pytest.raises(ObfuscationError, match="finite value"):
+            cache.check_delta([(0, 1, 0.5, 1.5)], 2, 0.1)
+        with pytest.raises(ObfuscationError, match="finite value"):
+            cache.check_delta([(0, 1, 0.5, float("nan"))], 2, 0.1)
+
+    def test_bad_knowledge_shape_rejected(self, triangle):
+        with pytest.raises(ObfuscationError, match="shape"):
+            DegreeUncertaintyCache(triangle, knowledge=np.array([1, 2]))

@@ -99,6 +99,38 @@ class TestCheckObfuscation:
         report = check_obfuscation(star, k=2, epsilon=0.0)
         assert report.worst_vertices(1)[0] == 0
 
+    def test_worst_vertices_rank_finite_before_vacuous(self):
+        """Regression: +inf (vacuous) entropies must never crowd out
+        genuinely weak vertices.  The old implementation relied on a
+        no-op ``np.where(np.isinf(e), np.inf, e)`` and the incidental
+        position argsort gives ``+inf``; the contract -- finite entropies
+        ranked ascending, vacuous vertices appended last -- is now
+        explicit and pinned here."""
+        star = UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
+        # Leaves get an out-of-support degree (entropy +inf); the center
+        # keeps its true unique degree (entropy 0 -- the worst vertex).
+        knowledge = np.array([4, 50, 50, 50, 50], dtype=np.int64)
+        report = check_obfuscation(star, k=2, epsilon=0.0,
+                                   knowledge=knowledge)
+        assert np.isinf(report.entropies[1:]).all()
+        assert report.entropies[0] == 0.0
+        # The single worst vertex is the finite-entropy center, and the
+        # vacuous leaves only appear once every finite vertex is listed.
+        assert report.worst_vertices(1).tolist() == [0]
+        assert report.worst_vertices(3).tolist()[0] == 0
+        full = report.worst_vertices(5)
+        assert full.shape == (5,)
+        assert full[0] == 0
+        assert set(full.tolist()) == {0, 1, 2, 3, 4}
+
+    def test_worst_vertices_sorts_finite_ascending(self):
+        path = UncertainGraph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        report = check_obfuscation(path, k=2, epsilon=0.0)
+        worst = report.worst_vertices(4)
+        ranked = report.entropies[worst]
+        finite = ranked[np.isfinite(ranked)]
+        assert (np.diff(finite) >= 0.0).all()
+
     def test_epsilon_achieved_fraction(self):
         star = UncertainGraph(5, [(0, i, 1.0) for i in range(1, 5)])
         report = check_obfuscation(star, k=2, epsilon=0.5)

@@ -54,6 +54,33 @@ class TestDegenerateProbabilities:
         )
         np.testing.assert_allclose(estimated, exact, atol=0.06)
 
+    @pytest.mark.parametrize("method", ["grouped", "merge-gain"])
+    def test_many_degenerate_edges_batch_fallback(self, method):
+        """A graph dominated by p in {0, 1} edges: the batched fallback
+        must stay accurate for *every* degenerate edge.  (The old
+        per-edge fallback resampled dedicated worlds per edge -- an
+        O(#degenerate * N * |E|) blowup this graph shape triggers.)"""
+        edges = []
+        for i in range(9):
+            p = (1.0, 0.0, 1.0)[i % 3] if i % 4 != 3 else 0.5
+            edges.append((i, i + 1, p))
+        g = UncertainGraph(10, edges)
+        exact = exact_edge_reliability_relevance(g)
+        estimated = edge_reliability_relevance(
+            g, n_samples=6000, seed=5, method=method
+        )
+        np.testing.assert_allclose(estimated, exact, atol=0.06)
+
+    def test_all_edges_degenerate(self):
+        """Every edge certain or impossible: the shared batch is fully
+        deterministic and the fallback result must be exact."""
+        g = UncertainGraph(
+            5, [(0, 1, 1.0), (1, 2, 0.0), (2, 3, 1.0), (3, 4, 1.0)]
+        )
+        exact = exact_edge_reliability_relevance(g)
+        estimated = edge_reliability_relevance(g, n_samples=64, seed=6)
+        np.testing.assert_allclose(estimated, exact, atol=1e-12)
+
 
 class TestProperties:
     def test_non_negative(self, small_profile_graph):

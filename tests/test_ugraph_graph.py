@@ -113,6 +113,70 @@ class TestAccessors:
         assert triangle.total_probability_mass() == pytest.approx(1.6)
 
 
+class TestPairProbabilities:
+    """Vectorized pair lookup must agree with the scalar accessor."""
+
+    def test_matches_scalar_lookup(self, triangle):
+        us = np.array([0, 1, 0, 2, 1], dtype=np.int64)
+        vs = np.array([1, 2, 2, 0, 0], dtype=np.int64)
+        expected = [triangle.probability(u, v) for u, v in zip(us, vs)]
+        np.testing.assert_array_equal(
+            triangle.pair_probabilities(us, vs), expected
+        )
+
+    def test_random_pairs_match_scalar(self, small_profile_graph):
+        rng = np.random.default_rng(0)
+        n = small_profile_graph.n_nodes
+        us = rng.integers(0, n, size=500)
+        vs = rng.integers(0, n, size=500)
+        expected = [
+            small_profile_graph.probability(int(u), int(v)) if u != v else 0.0
+            for u, v in zip(us, vs)
+        ]
+        np.testing.assert_array_equal(
+            small_profile_graph.pair_probabilities(us, vs), expected
+        )
+
+    def test_absent_and_self_pairs_are_zero(self, path4):
+        us = np.array([0, 1, 2], dtype=np.int64)
+        vs = np.array([3, 1, 0], dtype=np.int64)
+        np.testing.assert_array_equal(
+            path4.pair_probabilities(us, vs), [0.0, 0.0, 0.0]
+        )
+
+    def test_out_of_range_vertices_are_zero(self, triangle):
+        us = np.array([-1, 0, 5], dtype=np.int64)
+        vs = np.array([0, 99, 7], dtype=np.int64)
+        np.testing.assert_array_equal(
+            triangle.pair_probabilities(us, vs), [0.0, 0.0, 0.0]
+        )
+
+    def test_empty_query(self, triangle):
+        empty = np.zeros(0, dtype=np.int64)
+        assert triangle.pair_probabilities(empty, empty).shape == (0,)
+
+    def test_edgeless_graph(self):
+        g = UncertainGraph(4)
+        np.testing.assert_array_equal(
+            g.pair_probabilities([0, 1], [1, 2]), [0.0, 0.0]
+        )
+
+    def test_shape_mismatch_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.pair_probabilities([0, 1], [1])
+
+    def test_clone_shares_pair_index(self, triangle):
+        """with_probabilities clones reuse the sorted pair-key index (the
+        structure is probability-independent), and lookups on the clone
+        see the *new* probabilities."""
+        triangle.pair_probabilities([0], [1])  # force index construction
+        clone = triangle.with_probabilities(np.array([0.9, 0.8, 0.3]))
+        assert clone._pair_key_cache is triangle._pair_key_cache
+        np.testing.assert_array_equal(
+            clone.pair_probabilities([0, 1], [1, 2]), [0.9, 0.8]
+        )
+
+
 class TestFunctionalUpdates:
     def test_with_probabilities_replaces(self, triangle):
         updated = triangle.with_probabilities(np.array([0.1, 0.2, 0.3]))
