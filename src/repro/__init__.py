@@ -52,7 +52,13 @@ from .metrics import (
     expected_average_degree,
 )
 from .privacy import check_obfuscation, expected_degree_knowledge
-from .reliability import ReliabilityEstimator, reliability_discrepancy
+from .reliability import (
+    DerivedWorlds,
+    ReliabilityEstimator,
+    WorldStore,
+    graph_delta,
+    reliability_discrepancy,
+)
 from .ugraph import (
     UncertainGraph,
     UncertainGraphBuilder,
@@ -88,6 +94,9 @@ __all__ = [
     "expected_degree_knowledge",
     "ReliabilityEstimator",
     "reliability_discrepancy",
+    "WorldStore",
+    "DerivedWorlds",
+    "graph_delta",
     # metrics
     "average_reliability_discrepancy",
     "compare_graphs",

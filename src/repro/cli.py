@@ -46,10 +46,11 @@ def _worker_count(text: str) -> int:
 def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
     """Connectivity-engine flags shared by the Monte-Carlo subcommands."""
     subparser.add_argument(
-        "--backend", default="scipy", choices=CONNECTIVITY_BACKENDS,
+        "--backend", default="auto", choices=CONNECTIVITY_BACKENDS,
         help="connected-components engine for Monte-Carlo sampling "
-             "(batched-scipy: one block-diagonal labeling pass; "
-             "process: multiprocess chunks)",
+             "(auto: pick batched-scipy or process from the workload "
+             "size; batched-scipy: one block-diagonal labeling pass; "
+             "process: shared-memory multiprocess chunks)",
     )
     subparser.add_argument(
         "--workers", type=_worker_count, default=None,
@@ -88,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(incremental: delta-based degree-pmf cache; "
              "full: per-trial matrix rebuild, the correctness oracle)",
     )
+    anon.add_argument(
+        "--utility-samples", type=int, default=0,
+        help="worlds for sigma-search utility verification; every "
+             "successful candidate's reliability discrepancy is scored "
+             "on one persistent world store (0 disables)",
+    )
     _add_backend_arguments(anon)
 
     check = sub.add_parser("check", help="evaluate (k, epsilon)-obfuscation")
@@ -103,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("anonymized", help="edge-list file")
     ev.add_argument("--samples", type=int, default=200)
     ev.add_argument("--seed", type=int, default=None)
+    ev.add_argument(
+        "--engine", default="store", choices=("store", "fresh"),
+        help="reliability-group engine (store: one CRN world store, the "
+             "anonymized graph derived as a delta; fresh: two "
+             "independently sampled estimators)",
+    )
+    ev.add_argument(
+        "--antithetic", action="store_true",
+        help="antithetic world pairing for the reliability group "
+             "(requires an even --samples)",
+    )
     _add_backend_arguments(ev)
 
     summ = sub.add_parser("summary", help="dataset characteristics (Table I)")
@@ -168,7 +186,8 @@ def _cmd_anonymize(args) -> int:
                            seed=args.seed, n_trials=args.trials,
                            connectivity_backend=args.backend,
                            n_workers=args.workers,
-                           obfuscation_checker=args.checker)
+                           obfuscation_checker=args.checker,
+                           utility_samples=args.utility_samples)
     if not result.success:
         print(
             f"FAILED: no (k={args.k}, eps={epsilon}) obfuscation found",
@@ -208,6 +227,7 @@ def _cmd_evaluate(args) -> int:
     comparison = compare_graphs(
         original, anonymized, n_samples=args.samples, seed=args.seed,
         backend=args.backend, n_workers=args.workers,
+        reliability_engine=args.engine, antithetic=args.antithetic,
     )
     rows = {
         name: {

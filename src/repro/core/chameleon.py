@@ -29,6 +29,13 @@ import numpy as np
 from .._rng import as_generator
 from ..privacy.degree_distribution import expected_degree_knowledge
 from ..privacy.incremental import DegreeUncertaintyCache
+from ..reliability.worldstore import (
+    DEFAULT_PAIR_SAMPLE,
+    FULL_MATRIX_LIMIT,
+    WorldStore,
+    graph_delta,
+    sample_vertex_pairs,
+)
 from ..ugraph.graph import UncertainGraph
 from ..ugraph.validation import validate_graph, validate_privacy_parameters
 from .config import ChameleonConfig, variant_config
@@ -101,6 +108,46 @@ class Chameleon:
         history: list[tuple[float, float]] = []
         calls = 0
 
+        # Utility verification: one persistent CRN world store of the
+        # input graph scores every successful candidate's reliability
+        # discrepancy incrementally -- only worlds where a perturbed
+        # edge's realization flipped are relabeled.
+        store: WorldStore | None = None
+        utility_pairs = None
+        utility_base_counts = None
+        utility_history: list[tuple[float, float]] = []
+        utility_scores: dict[int, float] = {}
+        if config.utility_samples > 0:
+            store = WorldStore(
+                graph, config.utility_samples,
+                seed=int(rng.integers(0, 2**63 - 1)),
+                backend=config.connectivity_backend,
+                n_workers=config.n_workers,
+            )
+            if graph.n_nodes > FULL_MATRIX_LIMIT:
+                # One fixed pair set scores every candidate, keeping the
+                # sigma search's utility signal comparable across probes.
+                utility_pairs = sample_vertex_pairs(
+                    graph.n_nodes, DEFAULT_PAIR_SAMPLE, seed=rng
+                )
+
+        def score_utility(outcome: GenObfOutcome) -> None:
+            nonlocal utility_base_counts
+            if store is None or outcome.graph is None:
+                return
+            if utility_pairs is not None and utility_base_counts is None:
+                utility_base_counts = store.base_pair_equal_counts(utility_pairs)
+            view = store.derive(graph_delta(graph, outcome.graph))
+            value = store.discrepancy(
+                view, pairs=utility_pairs, base_counts=utility_base_counts
+            )
+            utility_scores[id(outcome)] = value
+            utility_history.append((outcome.sigma, value))
+            logger.debug(
+                "utility sigma=%.5g -> Delta=%.6g (%d/%d dirty worlds)",
+                outcome.sigma, value, view.n_dirty, store.n_samples,
+            )
+
         logger.debug(
             "anonymize start: method=%s k=%d eps=%g n=%d |E|=%d",
             config.name, config.k, config.epsilon,
@@ -113,6 +160,7 @@ class Chameleon:
             outcome = gen_obf(graph, config, sigma, context, seed=rng,
                               cache=cache)
             history.append((outcome.sigma, outcome.epsilon_achieved))
+            score_utility(outcome)
             logger.debug(
                 "GenObf sigma=%.5g -> eps_hat=%.4g (%s)",
                 outcome.sigma, outcome.epsilon_achieved,
@@ -167,6 +215,7 @@ class Chameleon:
                 n_genobf_calls=calls,
                 sigma_history=tuple(history),
                 elapsed_seconds=elapsed,
+                utility_history=tuple(utility_history),
             )
         sigma_low = 0.0
 
@@ -199,6 +248,8 @@ class Chameleon:
             n_genobf_calls=calls,
             sigma_history=tuple(history),
             elapsed_seconds=elapsed,
+            utility_discrepancy=utility_scores.get(id(best)),
+            utility_history=tuple(utility_history),
         )
 
 

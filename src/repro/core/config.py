@@ -55,6 +55,17 @@ class ChameleonConfig:
     connectivity_backend:
         Connected-components engine of the Monte-Carlo machinery (one of
         :data:`repro.reliability.connectivity.CONNECTIVITY_BACKENDS`).
+        The default ``"auto"`` resolves per workload: large full-batch
+        labelings go multiprocess, small batches (dirty-world relabels)
+        stay on the in-process batched kernel.
+    utility_samples:
+        Possible worlds for utility verification during the sigma
+        search.  When positive, the anonymizer keeps one persistent
+        :class:`repro.reliability.WorldStore` of the input graph and
+        scores every successful GenObf candidate's reliability
+        discrepancy incrementally (dirty-world relabeling);
+        ``AnonymizationResult.utility_discrepancy`` reports the accepted
+        solution's score.  0 (default) skips utility verification.
     n_workers:
         Worker count for the ``"process"`` connectivity backend; ``None``
         defers to ``REPRO_NUM_WORKERS`` / CPU count.
@@ -91,8 +102,9 @@ class ChameleonConfig:
     n_trials: int = 5
     relevance_samples: int = 400
     relevance_method: str = "merge-gain"
-    connectivity_backend: str = "scipy"
+    connectivity_backend: str = "auto"
     n_workers: int | None = None
+    utility_samples: int = 0
     obfuscation_checker: str = "incremental"
     selection_mode: str = "reliability-sensitive"
     perturbation_mode: str = "max-entropy"
@@ -129,6 +141,10 @@ class ChameleonConfig:
             raise ConfigurationError(
                 "connectivity_backend must be one of "
                 f"{CONNECTIVITY_BACKENDS}, got {self.connectivity_backend!r}"
+            )
+        if self.utility_samples < 0:
+            raise ConfigurationError(
+                f"utility_samples must be >= 0, got {self.utility_samples}"
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError(

@@ -64,6 +64,14 @@ class AnonymizationResult:
         ``(sigma, epsilon_achieved)`` per GenObf call, in search order.
     elapsed_seconds:
         Wall-clock time of the run.
+    utility_discrepancy:
+        Reliability discrepancy of the accepted solution against the
+        input graph, measured on the anonymizer's world store when
+        ``ChameleonConfig.utility_samples > 0``; ``None`` when utility
+        verification was off (or the search failed).
+    utility_history:
+        ``(sigma, discrepancy)`` per *successful* GenObf call scored by
+        the world store, in search order.
     """
 
     graph: UncertainGraph | None
@@ -76,6 +84,8 @@ class AnonymizationResult:
     n_genobf_calls: int
     sigma_history: tuple[tuple[float, float], ...] = field(default_factory=tuple)
     elapsed_seconds: float = 0.0
+    utility_discrepancy: float | None = None
+    utility_history: tuple[tuple[float, float], ...] = field(default_factory=tuple)
 
     @property
     def success(self) -> bool:
@@ -100,6 +110,7 @@ class AnonymizationResult:
             "epsilon_achieved": self.epsilon_achieved,
             "n_genobf_calls": self.n_genobf_calls,
             "elapsed_seconds": self.elapsed_seconds,
+            "utility_discrepancy": self.utility_discrepancy,
         }
 
     def __repr__(self) -> str:

@@ -27,12 +27,15 @@ def average_reliability_discrepancy(
     seed=None,
     backend: str = "scipy",
     n_workers: int | None = None,
+    engine: str = "store",
+    antithetic: bool = False,
 ) -> float:
     """Average per-pair reliability discrepancy (the Figure 4/8 y-axis).
 
     See :func:`repro.reliability.reliability_discrepancy`; this wrapper
     fixes ``per_pair=True`` which is the scale-free quantity the paper
-    reports.
+    reports.  ``engine``/``antithetic`` select the world-store derivation
+    path vs. the fresh two-estimator oracle, and antithetic pairing.
     """
     return reliability_discrepancy(
         original,
@@ -43,16 +46,19 @@ def average_reliability_discrepancy(
         per_pair=True,
         backend=backend,
         n_workers=n_workers,
+        engine=engine,
+        antithetic=antithetic,
     )
 
 
 def expected_reliability(
     graph: UncertainGraph, n_samples: int = 500, seed=None,
     backend: str = "scipy", n_workers: int | None = None,
+    antithetic: bool = False,
 ) -> float:
     """Average all-pairs reliability of one graph (connectivity level)."""
     estimator = ReliabilityEstimator(
         graph, n_samples=n_samples, seed=seed,
-        backend=backend, n_workers=n_workers,
+        backend=backend, n_workers=n_workers, antithetic=antithetic,
     )
     return estimator.average_all_pairs_reliability()

@@ -77,6 +77,8 @@ def compare_graphs(
     seed=None,
     backend: str = "scipy",
     n_workers: int | None = None,
+    reliability_engine: str = "store",
+    antithetic: bool = False,
 ) -> dict[str, MetricComparison]:
     """Evaluate utility preservation across the paper's metric groups.
 
@@ -91,12 +93,29 @@ def compare_graphs(
     backend, n_workers:
         Connectivity engine for the reliability metric group (see
         :mod:`repro.reliability.connectivity`).
+    reliability_engine:
+        ``"store"`` (default) serves the whole reliability group from one
+        :class:`repro.reliability.WorldStore` of the original -- the
+        anonymized graph is derived as a delta (common random numbers,
+        dirty-world relabeling only), so identical graphs score exactly
+        0.  ``"fresh"`` keeps the pre-store path: two independently
+        sampled estimators plus a separately sampled discrepancy.
+    antithetic:
+        Antithetic world pairing for the reliability group (requires an
+        even ``n_samples``).
 
     Returns a dict keyed by metric name.  The ``"reliability"`` entry is
     special: its *relative_error* is the average per-pair reliability
     discrepancy itself (the original/anonymized columns hold the two
     graphs' mean all-pairs reliability for context).
     """
+    from ..reliability.estimator import DISCREPANCY_ENGINES
+
+    if reliability_engine not in DISCREPANCY_ENGINES:
+        raise EstimationError(
+            f"unknown reliability engine {reliability_engine!r}, "
+            f"expected one of {DISCREPANCY_ENGINES}"
+        )
     rng = as_generator(seed)
     known = set(DEFAULT_METRICS) | set(EXTENDED_METRICS)
     unknown = set(metrics) - known
@@ -148,26 +167,46 @@ def compare_graphs(
             "clustering_coefficient", a, b, _relative_error(a, b)
         )
     if "reliability" in metrics:
-        from ..reliability.estimator import ReliabilityEstimator
+        if reliability_engine == "store":
+            from ..reliability.worldstore import WorldStore, graph_delta
 
-        est_a = ReliabilityEstimator(
-            original, n_samples=n_samples, seed=rng,
-            backend=backend, n_workers=n_workers,
-        )
-        est_b = ReliabilityEstimator(
-            anonymized, n_samples=n_samples, seed=rng,
-            backend=backend, n_workers=n_workers,
-        )
-        discrepancy = average_reliability_discrepancy(
-            original, anonymized, n_samples=n_samples, seed=rng,
-            backend=backend, n_workers=n_workers,
-        )
-        results["reliability"] = MetricComparison(
-            "reliability",
-            est_a.average_all_pairs_reliability(),
-            est_b.average_all_pairs_reliability(),
-            discrepancy,
-        )
+            # One store serves the whole group: the original's value from
+            # the base worlds, the anonymized's from the derived view
+            # (only flipped worlds relabeled), and the discrepancy from
+            # the paired comparison -- Delta(G, G) is structurally 0.
+            store = WorldStore(
+                original, n_samples=n_samples, seed=rng,
+                backend=backend, n_workers=n_workers, antithetic=antithetic,
+            )
+            view = store.derive(graph_delta(original, anonymized))
+            results["reliability"] = MetricComparison(
+                "reliability",
+                store.base_view().average_all_pairs_reliability(),
+                view.average_all_pairs_reliability(),
+                store.discrepancy(view, seed=rng),
+            )
+        else:
+            from ..reliability.estimator import ReliabilityEstimator
+
+            est_a = ReliabilityEstimator(
+                original, n_samples=n_samples, seed=rng,
+                backend=backend, n_workers=n_workers, antithetic=antithetic,
+            )
+            est_b = ReliabilityEstimator(
+                anonymized, n_samples=n_samples, seed=rng,
+                backend=backend, n_workers=n_workers, antithetic=antithetic,
+            )
+            discrepancy = average_reliability_discrepancy(
+                original, anonymized, n_samples=n_samples, seed=rng,
+                backend=backend, n_workers=n_workers, engine="fresh",
+                antithetic=antithetic,
+            )
+            results["reliability"] = MetricComparison(
+                "reliability",
+                est_a.average_all_pairs_reliability(),
+                est_b.average_all_pairs_reliability(),
+                discrepancy,
+            )
     if "degree_distribution" in metrics:
         from .degree import degree_distribution_l1_error
 

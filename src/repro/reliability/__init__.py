@@ -15,14 +15,23 @@ from .connectivity import (
     NUM_WORKERS_ENV,
     batch_component_labels,
     batch_pair_counts,
+    component_labels_for_edges,
     pair_counts_from_labels,
+    resolve_backend,
     resolve_worker_count,
+    shutdown_worker_pools,
     world_component_labels,
 )
 from .estimator import (
+    DISCREPANCY_ENGINES,
     ReliabilityEstimator,
     reliability_discrepancy,
     sample_vertex_pairs,
+)
+from .worldstore import (
+    DerivedWorlds,
+    WorldStore,
+    graph_delta,
 )
 from .exact import (
     enumerate_worlds,
@@ -58,14 +67,21 @@ __all__ = [
     "connected_pair_count",
     "CONNECTIVITY_BACKENDS",
     "NUM_WORKERS_ENV",
+    "resolve_backend",
     "resolve_worker_count",
+    "shutdown_worker_pools",
     "world_component_labels",
     "batch_component_labels",
     "batch_pair_counts",
+    "component_labels_for_edges",
     "pair_counts_from_labels",
+    "DISCREPANCY_ENGINES",
     "ReliabilityEstimator",
     "reliability_discrepancy",
     "sample_vertex_pairs",
+    "WorldStore",
+    "DerivedWorlds",
+    "graph_delta",
     "enumerate_worlds",
     "exact_two_terminal",
     "exact_pairwise_reliability",

@@ -3,7 +3,7 @@
 Given the ``(N, |E|)`` world-mask matrix produced by
 :mod:`repro.ugraph.worlds`, these routines compute, per world, the
 connected-component labeling and the number of connected vertex pairs.
-They are the inner loop of every reliability estimator, so four backends
+They are the inner loop of every reliability estimator, so five backends
 are provided behind one ``backend=`` parameter:
 
 * ``batched-scipy``: stacks all ``N`` worlds into ONE block-diagonal
@@ -12,13 +12,19 @@ are provided behind one ``backend=`` parameter:
   call.  Eliminates the per-world Python loop entirely; the fastest
   single-process choice at Monte-Carlo scales (``N`` in the hundreds or
   thousands).
-* ``process``: chunks the world matrix across a
-  :class:`~concurrent.futures.ProcessPoolExecutor` whose worker count
-  comes from an explicit ``n_workers`` argument, the
+* ``process``: chunks the world matrix across a lazily created,
+  *persistent* :class:`~concurrent.futures.ProcessPoolExecutor` whose
+  worker count comes from an explicit ``n_workers`` argument, the
   ``REPRO_NUM_WORKERS`` environment variable, or ``os.cpu_count()``.
-  Each worker runs the batched-scipy kernel on its chunk; worth the
-  process overhead for very large ``N * |E|`` workloads on multi-core
-  hardware.
+  The mask matrix crosses the process boundary through
+  :mod:`multiprocessing.shared_memory` -- workers receive only a
+  ``(segment name, shape, row slice)`` descriptor, never a pickled
+  mask array -- and each worker runs the batched-scipy kernel on its
+  row slice.  Worth it for very large ``N * |E|`` workloads on
+  multi-core hardware.
+* ``auto``: picks ``batched-scipy`` or ``process`` from the workload
+  size ``N * |E|`` (see :func:`resolve_backend`); below the recorded
+  crossover the pool overhead is never paid.
 * ``scipy``: the historical default -- one sparse adjacency build plus
   one ``connected_components`` call per world.  Kept as the correctness
   oracle and for tiny batches where setup costs dominate.
@@ -34,8 +40,11 @@ choice never changes results.
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
@@ -49,17 +58,27 @@ __all__ = [
     "CONNECTIVITY_BACKENDS",
     "NUM_WORKERS_ENV",
     "resolve_worker_count",
+    "resolve_backend",
     "world_component_labels",
+    "component_labels_for_edges",
     "batch_component_labels",
     "batch_pair_counts",
     "pair_counts_from_labels",
+    "shutdown_worker_pools",
 ]
 
 #: Every selectable connectivity backend, in documentation order.
-CONNECTIVITY_BACKENDS = ("scipy", "python", "batched-scipy", "process")
+CONNECTIVITY_BACKENDS = ("scipy", "python", "batched-scipy", "process", "auto")
 
 #: Environment variable that sets the ``process`` backend's worker count.
 NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+#: ``N * |E|`` workload size above which ``auto`` fans out to the process
+#: pool.  The recorded crossover (benchmarks/results/
+#: bench_connectivity_backends.txt) has ``process`` barely ahead of
+#: ``batched-scipy`` at N=1000, |E|=2073 (~2.1M cells); the threshold sits
+#: well above that point so ``auto`` never pays pool overhead below it.
+AUTO_PROCESS_CELLS = 8_000_000
 
 #: Soft cap on block-diagonal size: the batched kernel splits the world
 #: batch so one stacked adjacency never exceeds this many virtual nodes.
@@ -76,6 +95,21 @@ def _validate_backend(backend: str) -> str:
             f"unknown backend {backend!r}; expected one of {CONNECTIVITY_BACKENDS}"
         )
     return backend
+
+
+def resolve_backend(backend: str, n_cells: int) -> str:
+    """Resolve ``"auto"`` to a concrete engine for an ``n_cells`` workload.
+
+    ``n_cells`` is the world-matrix size ``N * |E|``.  Workloads at or
+    above :data:`AUTO_PROCESS_CELLS` go to the ``process`` pool; anything
+    smaller stays on the single-process ``batched-scipy`` kernel, which
+    the recorded benchmark shows is at worst a wash below the crossover.
+    Concrete backend names pass through unchanged.
+    """
+    _validate_backend(backend)
+    if backend != "auto":
+        return backend
+    return "process" if n_cells >= AUTO_PROCESS_CELLS else "batched-scipy"
 
 
 def resolve_worker_count(n_workers: int | None = None) -> int:
@@ -205,9 +239,80 @@ def _batched_labels_chunked(
     return np.concatenate(parts, axis=0)
 
 
-def _labels_chunk_worker(payload) -> np.ndarray:
-    """Module-level worker (picklable) for the ``process`` backend."""
-    n_nodes, src, dst, chunk = payload
+#: Lazily created, reused process pools keyed by worker count.  Spawning
+#: a pool costs tens of milliseconds; the Monte-Carlo loops call
+#: ``_process_labels`` hundreds of times per run, so the pool persists
+#: until interpreter exit (or an explicit :func:`shutdown_worker_pools`).
+_WORKER_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(n_workers: int) -> ProcessPoolExecutor:
+    pool = _WORKER_POOLS.get(n_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        _WORKER_POOLS[n_workers] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every persistent ``process``-backend pool."""
+    for pool in _WORKER_POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _WORKER_POOLS.clear()
+
+
+atexit.register(shutdown_worker_pools)
+
+
+def _create_shared_masks(masks: np.ndarray) -> shared_memory.SharedMemory:
+    """Copy a boolean world matrix into a fresh shared-memory segment."""
+    shm = shared_memory.SharedMemory(create=True, size=max(1, masks.nbytes))
+    view = np.ndarray(masks.shape, dtype=np.bool_, buffer=shm.buf)
+    view[:] = masks
+    # ``view`` goes out of scope here; only the segment's own buffer
+    # stays exported, so close()/unlink() remain legal for the caller.
+    return shm
+
+
+def _shared_mask_payloads(
+    n_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    shm_name: str,
+    shape: tuple[int, int],
+    n_chunks: int,
+) -> list[tuple]:
+    """Descriptor tuples handed to the pool: name + shape + row slice.
+
+    The mask matrix itself never crosses the process boundary -- workers
+    attach to the named segment and read their ``[start, stop)`` rows
+    in place.  Only the (small) endpoint arrays are pickled.
+    """
+    n_samples = shape[0]
+    bounds = np.linspace(0, n_samples, n_chunks + 1, dtype=np.int64)
+    return [
+        (n_nodes, src, dst, shm_name, shape, int(start), int(stop))
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+
+
+def _labels_shm_worker(payload) -> np.ndarray:
+    """Module-level worker (picklable) for the ``process`` backend.
+
+    Attaches to the parent's shared-memory segment, copies its assigned
+    row slice out (the kernel reorders rows via fancy indexing anyway),
+    and detaches before doing any labeling work so the parent can unlink
+    the segment as soon as every worker has read its slice.
+    """
+    n_nodes, src, dst, shm_name, shape, start, stop = payload
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        view = np.ndarray(shape, dtype=np.bool_, buffer=shm.buf)
+        chunk = np.array(view[start:stop], copy=True)
+        del view
+    finally:
+        shm.close()
     return _batched_labels_chunked(n_nodes, src, dst, chunk)
 
 
@@ -218,16 +323,76 @@ def _process_labels(
     masks: np.ndarray,
     n_workers: int,
 ) -> np.ndarray:
-    """Fan the world batch out over a process pool, one chunk per worker."""
+    """Fan the world batch out over the persistent pool, one chunk per worker.
+
+    Masks travel through shared memory (created here, unlinked in the
+    ``finally`` even when a worker raises); workers receive descriptors
+    only -- see :func:`_shared_mask_payloads`.
+    """
     n_samples = masks.shape[0]
     n_workers = min(n_workers, max(1, n_samples))
     if n_workers <= 1:
         return _batched_labels_chunked(n_nodes, src, dst, masks)
-    chunks = np.array_split(masks, n_workers)
-    payloads = [(n_nodes, src, dst, chunk) for chunk in chunks if chunk.shape[0]]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        parts = list(pool.map(_labels_chunk_worker, payloads))
-    return np.concatenate(parts, axis=0)
+    masks = np.ascontiguousarray(masks)
+    shm = _create_shared_masks(masks)
+    try:
+        payloads = _shared_mask_payloads(
+            n_nodes, src, dst, shm.name, masks.shape, n_workers
+        )
+        try:
+            parts = list(_get_pool(n_workers).map(_labels_shm_worker, payloads))
+        except BrokenProcessPool:
+            # A worker died (OOM, signal): discard the broken pool so the
+            # next call starts a healthy one, then surface the failure.
+            _WORKER_POOLS.pop(n_workers, None)
+            raise
+        return np.concatenate(parts, axis=0)
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def component_labels_for_edges(
+    n_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    masks: np.ndarray,
+    backend: str = "batched-scipy",
+    n_workers: int | None = None,
+) -> np.ndarray:
+    """Component labels for a world batch over an explicit edge universe.
+
+    Same contract as :func:`batch_component_labels` but parameterized by
+    raw endpoint arrays instead of an :class:`UncertainGraph`, so callers
+    whose edge universe outgrew the base graph (the world store's derived
+    candidates) can reuse every backend.  ``masks`` must be
+    ``(N, len(src))``.
+    """
+    masks = np.asarray(masks)
+    if masks.ndim != 2 or masks.shape[1] != src.shape[0]:
+        raise ValueError(
+            f"world-mask matrix must be (N, {src.shape[0]}), got {masks.shape}"
+        )
+    if masks.dtype != np.bool_:
+        masks = masks.astype(bool)
+    backend = resolve_backend(backend, masks.shape[0] * max(1, masks.shape[1]))
+    if backend == "batched-scipy":
+        return _batched_labels_chunked(n_nodes, src, dst, masks)
+    if backend == "process":
+        return _process_labels(
+            n_nodes, src, dst, masks, resolve_worker_count(n_workers)
+        )
+    n_samples = masks.shape[0]
+    out = np.empty((n_samples, n_nodes), dtype=np.int32)
+    for i in range(n_samples):
+        keep = masks[i]
+        out[i] = world_component_labels(
+            n_nodes, src[keep], dst[keep], backend=backend
+        )
+    return out
 
 
 def batch_component_labels(
@@ -240,26 +405,16 @@ def batch_component_labels(
 
     Returns an ``(N, n_nodes)`` int32 matrix; row ``i`` labels world ``i``
     with consecutive component ids starting at 0.  ``backend`` selects
-    the engine (see module docstring); ``n_workers`` only affects the
+    the engine (see module docstring; ``"auto"`` resolves per workload
+    via :func:`resolve_backend`); ``n_workers`` only affects the
     ``process`` backend (see :func:`resolve_worker_count`).
     """
     _validate_backend(backend)
     masks = _validate_masks(graph, masks)
-    src, dst = graph.edge_src, graph.edge_dst
-    if backend == "batched-scipy":
-        return _batched_labels_chunked(graph.n_nodes, src, dst, masks)
-    if backend == "process":
-        return _process_labels(
-            graph.n_nodes, src, dst, masks, resolve_worker_count(n_workers)
-        )
-    n_samples = masks.shape[0]
-    out = np.empty((n_samples, graph.n_nodes), dtype=np.int32)
-    for i in range(n_samples):
-        keep = masks[i]
-        out[i] = world_component_labels(
-            graph.n_nodes, src[keep], dst[keep], backend=backend
-        )
-    return out
+    return component_labels_for_edges(
+        graph.n_nodes, graph.edge_src, graph.edge_dst, masks,
+        backend=backend, n_workers=n_workers,
+    )
 
 
 def pair_counts_from_labels(labels: np.ndarray) -> np.ndarray:

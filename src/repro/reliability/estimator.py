@@ -7,12 +7,23 @@ components once, and then answers any number of reliability queries
 labels.  This sharing is what makes the paper's evaluation loop and
 Algorithm 2 tractable.
 
+Since PR 4 the estimator is backed by a
+:class:`repro.reliability.worldstore.WorldStore`: the uniforms behind its
+worlds persist, so candidate graphs described as probability deltas can
+be evaluated incrementally via :meth:`ReliabilityEstimator.derive` --
+only the worlds where a changed edge actually flipped are relabeled.
+Sampling is bit-compatible with the previous direct path (the store
+consumes the generator exactly like ``sample_edge_masks``).
+
 :func:`reliability_discrepancy` estimates the utility-loss metric
 ``Delta`` of Definition 2 between an original and an anonymized graph.
 For large graphs the exact sum over all ``n(n-1)/2`` pairs is replaced by
 a uniform sample of vertex pairs, reported as the *average* discrepancy
 per pair (the quantity Figure 4 of the paper plots), optionally rescaled
-to the full-sum estimate.
+to the full-sum estimate.  Its default ``engine="store"`` evaluates the
+anonymized graph as a delta against the original's world store; the
+``"fresh"`` engine (two independently built estimators over common
+random numbers) is kept as the oracle path.
 """
 
 from __future__ import annotations
@@ -22,8 +33,15 @@ import numpy as np
 from .._rng import as_generator
 from ..exceptions import EstimationError
 from ..ugraph.graph import UncertainGraph
-from ..ugraph.worlds import sample_edge_masks
-from .connectivity import batch_component_labels, pair_counts_from_labels
+from .worldstore import (
+    DEFAULT_PAIR_SAMPLE,
+    FULL_MATRIX_LIMIT,
+    PAIRWISE_BLOCK_ELEMENTS,
+    DerivedWorlds,
+    WorldStore,
+    graph_delta,
+    sample_vertex_pairs,
+)
 
 __all__ = [
     "ReliabilityEstimator",
@@ -32,10 +50,12 @@ __all__ = [
 ]
 
 DEFAULT_SAMPLES = 1000
-_FULL_MATRIX_LIMIT = 1500
-#: Element budget for one ``(block, n, n)`` equality tensor in
-#: :meth:`ReliabilityEstimator.pairwise_reliability`.
-_PAIRWISE_BLOCK_ELEMENTS = 16_000_000
+# Backward-compatible aliases (the limits now live in worldstore).
+_FULL_MATRIX_LIMIT = FULL_MATRIX_LIMIT
+_PAIRWISE_BLOCK_ELEMENTS = PAIRWISE_BLOCK_ELEMENTS
+
+#: Engines accepted by :func:`reliability_discrepancy`.
+DISCREPANCY_ENGINES = ("store", "fresh")
 
 
 class ReliabilityEstimator:
@@ -53,7 +73,8 @@ class ReliabilityEstimator:
     backend:
         Connected-components backend (one of
         :data:`repro.reliability.connectivity.CONNECTIVITY_BACKENDS`:
-        ``"scipy"``, ``"python"``, ``"batched-scipy"``, ``"process"``).
+        ``"scipy"``, ``"python"``, ``"batched-scipy"``, ``"process"``,
+        ``"auto"``).
     n_workers:
         Worker count for the ``"process"`` backend; ``None`` defers to
         the ``REPRO_NUM_WORKERS`` environment variable / CPU count.
@@ -63,7 +84,9 @@ class ReliabilityEstimator:
         even ``n_samples``.
 
     Sampling and labeling happen lazily on first query and are then
-    reused by every method.
+    reused by every method.  The backing :class:`WorldStore` is exposed
+    via :attr:`store`, and :meth:`derive` evaluates candidate graphs
+    incrementally as probability deltas.
     """
 
     def __init__(
@@ -83,13 +106,10 @@ class ReliabilityEstimator:
             )
         self._graph = graph
         self._n_samples = int(n_samples)
-        self._rng = as_generator(seed)
-        self._backend = backend
-        self._n_workers = n_workers
-        self._antithetic = bool(antithetic)
-        self._masks: np.ndarray | None = None
-        self._labels: np.ndarray | None = None
-        self._pair_counts: np.ndarray | None = None
+        self._store = WorldStore(
+            graph, n_samples, seed=seed, backend=backend,
+            n_workers=n_workers, antithetic=antithetic,
+        )
 
     # -- cached world machinery ---------------------------------------- #
 
@@ -102,31 +122,33 @@ class ReliabilityEstimator:
         return self._n_samples
 
     @property
+    def store(self) -> WorldStore:
+        """The persistent CRN world store backing this estimator."""
+        return self._store
+
+    @property
     def masks(self) -> np.ndarray:
         """Boolean ``(N, |E|)`` world matrix (sampled once, cached)."""
-        if self._masks is None:
-            self._masks = sample_edge_masks(
-                self._graph, self._n_samples, seed=self._rng,
-                antithetic=self._antithetic,
-            )
-        return self._masks
+        return self._store.base_masks[:, : self._graph.n_edges]
 
     @property
     def labels(self) -> np.ndarray:
         """Int ``(N, n)`` component labels per world (cached)."""
-        if self._labels is None:
-            self._labels = batch_component_labels(
-                self._graph, self.masks, backend=self._backend,
-                n_workers=self._n_workers,
-            )
-        return self._labels
+        return self._store.base_labels
 
     @property
     def pair_counts(self) -> np.ndarray:
         """Connected-pair count per sampled world (cached)."""
-        if self._pair_counts is None:
-            self._pair_counts = pair_counts_from_labels(self.labels)
-        return self._pair_counts
+        return self._store.base_pair_counts
+
+    def derive(self, delta) -> DerivedWorlds:
+        """Incremental view of a candidate described as a delta.
+
+        ``delta`` lists ``(u, v, p_old, p_new)``; see
+        :meth:`WorldStore.derive`.  Only worlds where a changed edge's
+        realization flipped are relabeled.
+        """
+        return self._store.derive(delta)
 
     # -- queries --------------------------------------------------------- #
 
@@ -165,44 +187,10 @@ class ReliabilityEstimator:
         """Full ``n x n`` reliability matrix estimate (small graphs only).
 
         Memory/time grow as ``N * n^2``; graphs above 1500 vertices must
-        use :meth:`reliability_of_pairs` on a pair sample instead.
+        use :meth:`reliability_of_pairs` on a pair sample instead.  The
+        matrix is cached inside the store; callers get a copy.
         """
-        n = self._graph.n_nodes
-        if n > _FULL_MATRIX_LIMIT:
-            raise EstimationError(
-                f"full reliability matrix limited to {_FULL_MATRIX_LIMIT} "
-                f"vertices, graph has {n}; use reliability_of_pairs"
-            )
-        labels = self.labels
-        n_samples = labels.shape[0]
-        # Accumulate in world blocks: each block builds one (b, n, n)
-        # boolean equality tensor and reduces it in compiled code, with
-        # the block size chosen to bound that temporary.
-        acc = np.zeros((n, n), dtype=np.int64)
-        block = max(1, _PAIRWISE_BLOCK_ELEMENTS // max(1, n * n))
-        for start in range(0, n_samples, block):
-            chunk = labels[start:start + block]
-            acc += (chunk[:, :, None] == chunk[:, None, :]).sum(axis=0)
-        result = acc / n_samples
-        np.fill_diagonal(result, 1.0)
-        return result
-
-
-def sample_vertex_pairs(
-    n_nodes: int, n_pairs: int, seed=None
-) -> np.ndarray:
-    """Uniformly sample ``n_pairs`` distinct-endpoint vertex pairs.
-
-    Pairs are sampled with replacement from the set of unordered pairs;
-    duplicates are acceptable for estimation (they do not bias the mean).
-    """
-    if n_nodes < 2:
-        raise EstimationError("need at least two vertices to form pairs")
-    rng = as_generator(seed)
-    u = rng.integers(0, n_nodes, size=n_pairs)
-    shift = rng.integers(1, n_nodes, size=n_pairs)
-    v = (u + shift) % n_nodes
-    return np.stack([u, v], axis=1)
+        return self._store.base_pairwise_reliability().copy()
 
 
 def reliability_discrepancy(
@@ -214,6 +202,8 @@ def reliability_discrepancy(
     per_pair: bool = True,
     backend: str = "scipy",
     n_workers: int | None = None,
+    engine: str = "store",
+    antithetic: bool = False,
 ) -> float:
     """Estimate the reliability discrepancy ``Delta`` (Definition 2).
 
@@ -232,37 +222,63 @@ def reliability_discrepancy(
         pair -- the scale-free quantity the paper's figures report.  If
         False, return the (estimated) total sum over all pairs.
     backend, n_workers:
-        Connectivity engine selection, forwarded to both graphs'
-        :class:`ReliabilityEstimator` instances.
+        Connectivity engine selection.
+    engine:
+        ``"store"`` (default) samples one :class:`WorldStore` from the
+        original and derives the anonymized graph as a delta -- the
+        common random numbers become structural, so ``Delta(G, G)`` is
+        exactly 0 and only flipped worlds are relabeled.  ``"fresh"``
+        builds two independent estimators over the same seed (the
+        pre-store oracle path).  When the anonymized graph reuses the
+        original's edge universe (the GenObf case), both engines are
+        bit-identical.
+    antithetic:
+        Sample worlds in antithetic pairs (both engines).
 
     The same sampled pair set is applied to both graphs so the comparison
     is paired, which dramatically reduces estimator variance.
     """
     if original.n_nodes != anonymized.n_nodes:
         raise EstimationError("graphs must share the vertex set")
+    if engine not in DISCREPANCY_ENGINES:
+        raise EstimationError(
+            f"unknown discrepancy engine {engine!r}, "
+            f"expected one of {DISCREPANCY_ENGINES}"
+        )
     n = original.n_nodes
     rng = as_generator(seed)
     # Common random numbers: both graphs sample worlds from the SAME seed,
     # so shared edges realize identically.  This pairs the comparison
     # (large variance reduction) and makes Delta(G, G) exactly zero.
     shared_seed = int(rng.integers(0, 2**63 - 1))
+
+    if engine == "store":
+        store = WorldStore(
+            original, n_samples, seed=shared_seed, backend=backend,
+            n_workers=n_workers, antithetic=antithetic,
+        )
+        view = store.derive(graph_delta(original, anonymized))
+        return store.discrepancy(
+            view, n_pairs=n_pairs, seed=rng, per_pair=per_pair
+        )
+
     est_a = ReliabilityEstimator(
         original, n_samples, seed=shared_seed,
-        backend=backend, n_workers=n_workers,
+        backend=backend, n_workers=n_workers, antithetic=antithetic,
     )
     est_b = ReliabilityEstimator(
         anonymized, n_samples, seed=shared_seed,
-        backend=backend, n_workers=n_workers,
+        backend=backend, n_workers=n_workers, antithetic=antithetic,
     )
 
     total_pairs = n * (n - 1) / 2
-    use_all = n_pairs is None and n <= _FULL_MATRIX_LIMIT
+    use_all = n_pairs is None and n <= FULL_MATRIX_LIMIT
     if use_all:
         diff = np.abs(est_a.pairwise_reliability() - est_b.pairwise_reliability())
         total = float(np.triu(diff, k=1).sum())
         evaluated = total_pairs
     else:
-        m = int(n_pairs) if n_pairs is not None else 20_000
+        m = int(n_pairs) if n_pairs is not None else DEFAULT_PAIR_SAMPLE
         pairs = sample_vertex_pairs(n, m, seed=rng)
         diff = np.abs(
             est_a.reliability_of_pairs(pairs) - est_b.reliability_of_pairs(pairs)

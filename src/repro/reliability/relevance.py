@@ -43,6 +43,7 @@ from ..exceptions import EstimationError
 from ..ugraph.graph import UncertainGraph
 from ..ugraph.worlds import sample_edge_masks
 from .connectivity import batch_component_labels, pair_counts_from_labels
+from .worldstore import WorldStore
 
 __all__ = [
     "RelevanceResult",
@@ -123,72 +124,38 @@ def _merge_gain_total(labels_block: np.ndarray, u: int, v: int) -> float:
 def _forced_absent_err_batch(
     graph: UncertainGraph,
     edges: np.ndarray,
-    masks: np.ndarray,
-    labels: np.ndarray,
-    backend: str = "scipy",
-    n_workers: int | None = None,
+    store: WorldStore,
 ) -> np.ndarray:
     """``ERR`` for degenerate edges by forcing each absent, reusing worlds.
 
     Replaces the per-edge dedicated-resampling fallback (an
     ``O(#degenerate * N * |E|)`` blowup on graphs with many p ~ 0/1
-    edges).  Every edge reuses the caller's shared ``masks`` / ``labels``
-    batch: worlds where the edge is already absent keep their labels
-    untouched, and worlds where it is present are relabeled with its
-    column cleared -- all degenerate edges pooled into batched
-    connectivity calls, chunked to bound the stacked mask matrix.  A
-    p ~ 0 edge (absent everywhere) therefore costs no relabeling at all.
+    edges).  Every edge reuses the ``store``'s shared base worlds: worlds
+    where the edge is already absent keep the base labels untouched, and
+    the ``p -> 0`` derivation relabels exactly the worlds where it was
+    realized present (the dirty set of that delta).  A p ~ 0 edge (absent
+    everywhere) therefore costs no relabeling at all.
     """
     edges = np.asarray(edges, dtype=np.int64)
-    n_samples = masks.shape[0]
+    masks = store.base_masks
+    labels = store.base_labels
     src, dst = graph.edge_src, graph.edge_dst
+    p = graph.edge_probabilities
     totals = np.zeros(edges.size, dtype=np.float64)
 
-    # Worlds where the edge was already absent: the shared labels are the
-    # labels of the forced-absent world.
     for j, e in enumerate(edges.tolist()):
+        u, v = int(src[e]), int(dst[e])
+        # Worlds where the edge was already absent: the shared labels are
+        # the labels of the forced-absent world.
         absent = np.flatnonzero(~masks[:, e])
         if absent.size:
-            totals[j] += _merge_gain_total(
-                labels[absent], int(src[e]), int(dst[e])
-            )
-
-    # Worlds where the edge was present: relabel with the column cleared.
-    # Jobs from all degenerate edges share connectivity calls, flushed
-    # whenever the stacked mask matrix reaches ~8M cells.
-    budget_rows = max(1, 8_000_000 // max(graph.n_edges, 1))
-    pending: list[tuple[int, np.ndarray]] = []
-    pending_rows = 0
-
-    def flush() -> None:
-        nonlocal pending, pending_rows
-        if not pending:
-            return
-        stacked = np.concatenate([m for __, m in pending], axis=0)
-        relabeled = batch_component_labels(
-            graph, stacked, backend=backend, n_workers=n_workers
-        )
-        offset = 0
-        for j, m in pending:
-            e = int(edges[j])
-            block = relabeled[offset : offset + m.shape[0]]
-            totals[j] += _merge_gain_total(block, int(src[e]), int(dst[e]))
-            offset += m.shape[0]
-        pending = []
-        pending_rows = 0
-
-    for j, e in enumerate(edges.tolist()):
-        present = np.flatnonzero(masks[:, e])
-        if present.size == 0:
-            continue
-        forced = masks[present].copy()
-        forced[:, e] = False
-        pending.append((j, forced))
-        pending_rows += present.size
-        if pending_rows >= budget_rows:
-            flush()
-    flush()
-    return totals / n_samples
+            totals[j] += _merge_gain_total(labels[absent], u, v)
+        # Worlds where it was present: the forced-absent delta's dirty
+        # set, relabeled by the store with the column cleared.
+        view = store.derive([(u, v, float(p[e]), 0.0)])
+        if view.n_dirty:
+            totals[j] += _merge_gain_total(view.dirty_labels, u, v)
+    return totals / store.n_samples
 
 
 def edge_reliability_relevance(
@@ -243,9 +210,11 @@ def edge_reliability_relevance(
 
     degenerate_ids = np.flatnonzero(degenerate)
     if degenerate_ids.size:
+        store = WorldStore.from_masks(
+            graph, masks, backend=backend, n_workers=n_workers, labels=labels
+        )
         err[degenerate_ids] = _forced_absent_err_batch(
-            graph, degenerate_ids, masks, labels,
-            backend=backend, n_workers=n_workers,
+            graph, degenerate_ids, store
         )
 
     # ERR is provably non-negative; clip residual sampling noise.

@@ -1,0 +1,705 @@
+"""Persistent common-random-number world store with dirty-world derivation.
+
+The GenObf/Chameleon evaluation loop compares many candidate graphs
+against one base graph, and `reliability_discrepancy` already seeds both
+sides identically (common random numbers, CRN) so that shared edges
+realize identically.  :class:`WorldStore` turns that pairing from a
+variance trick into a *structural* speedup:
+
+* the uniform matrix ``U`` of shape ``(N, |edge universe|)`` is drawn
+  once per run (columns grow on demand when candidates introduce new
+  edges) and the base graph's world masks are derived as ``U < p``;
+* base component labels, per-world connected-pair counts, and the
+  pairwise equality accumulator are computed once and cached;
+* a candidate described as a delta ``[(u, v, p_old, p_new), ...]``
+  re-thresholds only the changed columns.  A world's realization of edge
+  ``e`` flips iff ``U[i, e]`` lands in ``[min(p_old, p_new),
+  max(p_old, p_new))`` -- probability ``|p_new - p_old|`` -- so the
+  expected **dirty-world** count is ``N * (1 - prod_e (1 - |dp_e|))``,
+  a small fraction of ``N`` for GenObf-sized perturbations.  Only dirty
+  worlds are relabeled (with the batched kernel); clean worlds reuse the
+  cached base labels.
+
+Every query answered by a :class:`DerivedWorlds` view is **bit-identical**
+to a fresh full recompute over the same materialized masks: per-row
+component label values depend only on the row's realized edges, and all
+aggregations run through exact integer accumulators (int64 counts)
+divided by ``N`` at the end -- the same ``count / N`` float the direct
+estimator produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import as_generator
+from ..exceptions import EstimationError
+from ..ugraph.graph import UncertainGraph
+from .connectivity import component_labels_for_edges, pair_counts_from_labels
+
+__all__ = [
+    "WorldStore",
+    "DerivedWorlds",
+    "graph_delta",
+    "sample_vertex_pairs",
+]
+
+#: Largest vertex count for which full ``n x n`` pairwise matrices are
+#: materialized (shared with :class:`repro.reliability.ReliabilityEstimator`).
+FULL_MATRIX_LIMIT = 1500
+#: Element budget for one ``(block, n, n)`` equality tensor.
+PAIRWISE_BLOCK_ELEMENTS = 16_000_000
+#: Vertex pairs sampled when a graph is too large for the full matrix.
+DEFAULT_PAIR_SAMPLE = 20_000
+#: Tolerance when validating a delta's claimed ``p_old`` against the store.
+_P_OLD_TOLERANCE = 1e-9
+
+
+def sample_vertex_pairs(
+    n_nodes: int, n_pairs: int, seed=None
+) -> np.ndarray:
+    """Uniformly sample ``n_pairs`` distinct-endpoint vertex pairs.
+
+    Pairs are sampled with replacement from the set of unordered pairs;
+    duplicates are acceptable for estimation (they do not bias the mean).
+    """
+    if n_nodes < 2:
+        raise EstimationError("need at least two vertices to form pairs")
+    rng = as_generator(seed)
+    u = rng.integers(0, n_nodes, size=n_pairs)
+    shift = rng.integers(1, n_nodes, size=n_pairs)
+    v = (u + shift) % n_nodes
+    return np.stack([u, v], axis=1)
+
+
+def graph_delta(
+    base: UncertainGraph, other: UncertainGraph
+) -> list[tuple[int, int, float, float]]:
+    """Describe ``other`` as a probability delta against ``base``.
+
+    Returns ``[(u, v, p_old, p_new), ...]`` covering every pair whose
+    probability differs between the two graphs (edges absent from a
+    graph count as probability 0), i.e. ``overlay(base, deltas)`` and
+    ``other`` agree on every pair probability.
+    """
+    if base.n_nodes != other.n_nodes:
+        raise EstimationError("graphs must share the vertex set")
+    delta: list[tuple[int, int, float, float]] = []
+    base_p = base.pair_probabilities(other.edge_src, other.edge_dst)
+    for u, v, p_new, p_old in zip(
+        other.edge_src.tolist(), other.edge_dst.tolist(),
+        other.edge_probabilities.tolist(), base_p.tolist(),
+    ):
+        if p_new != p_old:
+            delta.append((u, v, p_old, p_new))
+    for u, v, p_old in zip(
+        base.edge_src.tolist(), base.edge_dst.tolist(),
+        base.edge_probabilities.tolist(),
+    ):
+        if p_old != 0.0 and not other.has_edge(u, v):
+            delta.append((u, v, p_old, 0.0))
+    return delta
+
+
+def _pairwise_equal_acc(labels: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Exact int64 ``n x n`` accumulator of per-world label equalities."""
+    acc = np.zeros((n_nodes, n_nodes), dtype=np.int64)
+    block = max(1, PAIRWISE_BLOCK_ELEMENTS // max(1, n_nodes * n_nodes))
+    for start in range(0, labels.shape[0], block):
+        chunk = labels[start:start + block]
+        acc += (chunk[:, :, None] == chunk[:, None, :]).sum(axis=0)
+    return acc
+
+
+#: Pair-count block width: keeps the two gathered ``(N, block)`` label
+#: slabs cache-resident instead of materializing ``(N, M)`` at once.
+_PAIR_COUNT_BLOCK = 2048
+
+
+def _pair_equal_counts(labels: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Exact int64 per-pair connected-world counts, blocked over pairs."""
+    counts = np.empty(pairs.shape[0], dtype=np.int64)
+    for start in range(0, pairs.shape[0], _PAIR_COUNT_BLOCK):
+        block = pairs[start:start + _PAIR_COUNT_BLOCK]
+        equal = (
+            labels.take(block[:, 0], axis=1)
+            == labels.take(block[:, 1], axis=1)
+        )
+        counts[start:start + _PAIR_COUNT_BLOCK] = equal.sum(
+            axis=0, dtype=np.int64
+        )
+    return counts
+
+
+def _validate_pairs(pairs) -> np.ndarray:
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise EstimationError(f"pairs must be (M, 2), got {pairs.shape}")
+    return pairs
+
+
+class WorldStore:
+    """Cached CRN worlds of one base graph, derivable to candidate graphs.
+
+    Parameters
+    ----------
+    graph:
+        The base graph; its edge set seeds the column universe.
+    n_samples:
+        Number of possible worlds (rows of ``U``).
+    seed:
+        Seed / generator.  With the same seed, the store's base masks are
+        bitwise equal to ``sample_edge_masks(graph, n_samples, seed)`` --
+        uniforms are drawn with identical generator consumption.
+    backend:
+        Connectivity backend for labeling; ``"auto"`` (default) resolves
+        per workload, so full-batch labeling may go multiprocess while a
+        small dirty set stays on the in-process kernel.
+    n_workers:
+        Worker count for the ``process`` backend.
+    antithetic:
+        Draw uniforms in antithetic pairs (row ``2i+1`` uses ``1 - U`` of
+        row ``2i``), matching ``sample_edge_masks(..., antithetic=True)``
+        bitwise.  Requires an even ``n_samples``.
+
+    Use :meth:`from_masks` to wrap an already-sampled mask matrix; such a
+    store has no uniforms and therefore only supports forced-present /
+    forced-absent deltas (``p_new`` in ``{0, 1}``) -- exactly what the
+    relevance estimator's degenerate-edge passes need.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        n_samples: int = 1000,
+        seed=None,
+        backend: str = "auto",
+        n_workers: int | None = None,
+        antithetic: bool = False,
+    ):
+        if n_samples <= 0:
+            raise EstimationError(f"n_samples must be positive, got {n_samples}")
+        if antithetic and n_samples % 2 != 0:
+            raise EstimationError(
+                f"antithetic sampling needs an even n_samples, got {n_samples}"
+            )
+        self._graph = graph
+        self._n_samples = int(n_samples)
+        self._rng = as_generator(seed)
+        self._backend = backend
+        self._n_workers = n_workers
+        self._antithetic = bool(antithetic)
+        # Growable edge universe: base edges first, candidate-introduced
+        # columns appended (base probability 0 => base mask all-False).
+        self._src = graph.edge_src.copy()
+        self._dst = graph.edge_dst.copy()
+        self._prob = graph.edge_probabilities.copy()
+        self._col_index: dict[tuple[int, int], int] = {
+            (int(u), int(v)): i
+            for i, (u, v) in enumerate(zip(self._src, self._dst))
+        }
+        self._has_uniforms = True
+        # Uniform buffer may hold spare capacity beyond the logical
+        # column count (geometric growth); ``uniforms`` slices it.
+        self._uniforms: np.ndarray | None = None
+        self._masks: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._pair_counts: np.ndarray | None = None
+        self._pair_acc: np.ndarray | None = None
+        self._pairwise: np.ndarray | None = None
+        self._pair_equal_cache: tuple[tuple, np.ndarray] | None = None
+
+    @classmethod
+    def from_masks(
+        cls,
+        graph: UncertainGraph,
+        masks: np.ndarray,
+        backend: str = "auto",
+        n_workers: int | None = None,
+        labels: np.ndarray | None = None,
+    ) -> "WorldStore":
+        """Wrap an existing ``(N, |E|)`` mask matrix (no uniforms kept).
+
+        The resulting store answers base queries and forced-present /
+        forced-absent derivations (``p_new`` in ``{0, 1}``); general
+        re-thresholding raises because the uniforms behind ``masks`` are
+        unknown.  ``labels`` optionally seeds the base-label cache.
+        """
+        masks = np.asarray(masks)
+        if masks.ndim != 2 or masks.shape[1] != graph.n_edges:
+            raise EstimationError(
+                f"mask matrix must be (N, {graph.n_edges}), got {masks.shape}"
+            )
+        store = cls(
+            graph, n_samples=masks.shape[0], backend=backend,
+            n_workers=n_workers,
+        )
+        store._has_uniforms = False
+        store._masks = masks.astype(bool, copy=False)
+        if labels is not None:
+            labels = np.asarray(labels)
+            if labels.shape != (masks.shape[0], graph.n_nodes):
+                raise EstimationError(
+                    f"labels must be {(masks.shape[0], graph.n_nodes)}, "
+                    f"got {labels.shape}"
+                )
+            store._labels = labels
+        return store
+
+    # -- base-world caches --------------------------------------------- #
+
+    @property
+    def graph(self) -> UncertainGraph:
+        return self._graph
+
+    @property
+    def n_samples(self) -> int:
+        return self._n_samples
+
+    @property
+    def n_columns(self) -> int:
+        """Current edge-universe width (base edges + grown columns)."""
+        return self._prob.shape[0]
+
+    def _draw_uniforms(self, n_cols: int) -> np.ndarray:
+        """Draw ``(N, n_cols)`` uniforms, mirroring the sampler's stream."""
+        if not self._antithetic:
+            return self._rng.random((self._n_samples, n_cols))
+        half = self._rng.random((self._n_samples // 2, n_cols))
+        out = np.empty((self._n_samples, n_cols), dtype=np.float64)
+        out[0::2] = half
+        out[1::2] = 1.0 - half
+        return out
+
+    @property
+    def uniforms(self) -> np.ndarray:
+        """The cached ``(N, n_columns)`` uniform matrix ``U``."""
+        if not self._has_uniforms:
+            raise EstimationError(
+                "store was built from masks; its uniforms are unknown"
+            )
+        if self._uniforms is None:
+            # The first draw covers exactly the base graph's columns so
+            # base masks reproduce sample_edge_masks(graph, N, seed)
+            # bitwise; grown columns consume the stream afterwards.
+            self._uniforms = self._draw_uniforms(self._graph.n_edges)
+        return self._uniforms[:, : self._prob.shape[0]]
+
+    @property
+    def base_masks(self) -> np.ndarray:
+        """Boolean ``(N, n_columns)`` base-world matrix (``U < p``)."""
+        if self._masks is None:
+            self._masks = self.uniforms < self._prob
+        return self._masks
+
+    @property
+    def base_labels(self) -> np.ndarray:
+        """Int ``(N, n)`` base component labels (cached)."""
+        if self._labels is None:
+            self._labels = component_labels_for_edges(
+                self._graph.n_nodes, self._src, self._dst, self.base_masks,
+                backend=self._backend, n_workers=self._n_workers,
+            )
+        return self._labels
+
+    @property
+    def base_pair_counts(self) -> np.ndarray:
+        """Connected-pair count per base world (cached int64)."""
+        if self._pair_counts is None:
+            self._pair_counts = pair_counts_from_labels(self.base_labels)
+        return self._pair_counts
+
+    @property
+    def base_pair_acc(self) -> np.ndarray:
+        """Int64 ``n x n`` pairwise equality accumulator (cached)."""
+        if self._pair_acc is None:
+            n = self._graph.n_nodes
+            if n > FULL_MATRIX_LIMIT:
+                raise EstimationError(
+                    f"full reliability matrix limited to {FULL_MATRIX_LIMIT} "
+                    f"vertices, graph has {n}; use reliability_of_pairs"
+                )
+            self._pair_acc = _pairwise_equal_acc(self.base_labels, n)
+        return self._pair_acc
+
+    @staticmethod
+    def _pair_cache_key(pairs: np.ndarray) -> tuple:
+        return (pairs.shape[0], hash(pairs.tobytes()))
+
+    def _base_pair_equal(self, pairs: np.ndarray) -> np.ndarray:
+        """Boolean ``(N, M)`` base connectivity per pair, cached.
+
+        The sigma search evaluates every candidate against one fixed
+        pair set; caching this matrix lets each derived view reduce its
+        dirty-world correction to a row gather + sum instead of a fresh
+        label comparison.  Only the most recent pair set is kept.
+        """
+        key = self._pair_cache_key(pairs)
+        if self._pair_equal_cache is not None and \
+                self._pair_equal_cache[0] == key:
+            return self._pair_equal_cache[1]
+        labels = self.base_labels
+        equal = np.empty((self._n_samples, pairs.shape[0]), dtype=bool)
+        for start in range(0, pairs.shape[0], _PAIR_COUNT_BLOCK):
+            block = pairs[start:start + _PAIR_COUNT_BLOCK]
+            equal[:, start:start + block.shape[0]] = (
+                labels.take(block[:, 0], axis=1)
+                == labels.take(block[:, 1], axis=1)
+            )
+        self._pair_equal_cache = (key, equal)
+        return equal
+
+    def _cached_pair_equal(self, pairs: np.ndarray) -> np.ndarray | None:
+        """The cached base pair-equality matrix, or None on a key miss."""
+        if self._pair_equal_cache is not None and \
+                self._pair_equal_cache[0] == self._pair_cache_key(pairs):
+            return self._pair_equal_cache[1]
+        return None
+
+    def base_pair_equal_counts(self, pairs: np.ndarray) -> np.ndarray:
+        """Int64 connected-world counts for an ``(M, 2)`` pair array."""
+        return self._base_pair_equal(_validate_pairs(pairs)).sum(
+            axis=0, dtype=np.int64
+        )
+
+    def base_reliability_of_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """Base-graph ``R_{u,v}`` for an ``(M, 2)`` pair array."""
+        return self.base_pair_equal_counts(pairs) / self._n_samples
+
+    def base_pairwise_reliability(self) -> np.ndarray:
+        """Base-graph ``n x n`` reliability matrix (cached float)."""
+        if self._pairwise is None:
+            result = self.base_pair_acc / self._n_samples
+            np.fill_diagonal(result, 1.0)
+            self._pairwise = result
+        return self._pairwise
+
+    def base_view(self) -> "DerivedWorlds":
+        """The base graph itself as a (clean) derived view."""
+        return self.derive([])
+
+    # -- column growth -------------------------------------------------- #
+
+    def _ensure_columns(self, pairs: list[tuple[int, int]]) -> None:
+        """Grow the universe by ``pairs`` (canonical, currently absent).
+
+        New columns carry base probability 0, so the base masks gain
+        all-False columns and every cached base aggregate stays valid.
+        """
+        if not pairs:
+            return
+        k = len(pairs)
+        old_cols = self._prob.shape[0]
+        src = np.fromiter((u for u, __ in pairs), dtype=np.int64, count=k)
+        dst = np.fromiter((v for __, v in pairs), dtype=np.int64, count=k)
+        for offset, (u, v) in enumerate(pairs):
+            self._col_index[(u, v)] = old_cols + offset
+        self._src = np.concatenate([self._src, src])
+        self._dst = np.concatenate([self._dst, dst])
+        self._prob = np.concatenate([self._prob, np.zeros(k)])
+        if self._has_uniforms:
+            # Force the base draw first so the generator stream stays
+            # "base block, then growth blocks in arrival order" no matter
+            # when the caller first touches the masks.  The buffer grows
+            # geometrically; each growth block is drawn straight into the
+            # spare capacity instead of re-concatenating the matrix.
+            __ = self.uniforms
+            if self._uniforms.shape[1] < old_cols + k:
+                capacity = max(old_cols + k, old_cols + old_cols // 2)
+                grown = np.empty((self._n_samples, capacity))
+                grown[:, :old_cols] = self._uniforms[:, :old_cols]
+                self._uniforms = grown
+            self._uniforms[:, old_cols:old_cols + k] = self._draw_uniforms(k)
+        if self._masks is not None:
+            pad = np.zeros((self._n_samples, k), dtype=bool)
+            self._masks = np.concatenate([self._masks, pad], axis=1)
+
+    # -- derivation ------------------------------------------------------ #
+
+    def derive(
+        self, delta: list[tuple[int, int, float, float]]
+    ) -> "DerivedWorlds":
+        """A candidate's worlds as a dirty-world view over the base cache.
+
+        ``delta`` lists ``(u, v, p_old, p_new)``; duplicate pairs keep the
+        last entry, ``p_old`` is validated against the store's base
+        probability, no-op entries (``p_new`` equal to the stored value)
+        are dropped.  Changed columns are re-thresholded against the
+        cached uniforms, worlds where any changed edge flipped are
+        relabeled, clean worlds reuse the base labels.
+        """
+        n = self._graph.n_nodes
+        merged: dict[tuple[int, int], tuple[float, float]] = {}
+        for u, v, p_old, p_new in delta:
+            u, v = int(u), int(v)
+            if u == v or not (0 <= u < n and 0 <= v < n):
+                raise EstimationError(
+                    f"delta pair ({u}, {v}) is not a valid vertex pair"
+                )
+            key = (u, v) if u < v else (v, u)
+            merged[key] = (float(p_old), float(p_new))
+
+        missing = [key for key in merged if key not in self._col_index]
+        self._ensure_columns(missing)
+
+        cols: list[int] = []
+        new_ps: list[float] = []
+        for key, (p_old, p_new) in merged.items():
+            col = self._col_index[key]
+            stored = float(self._prob[col])
+            if abs(p_old - stored) > _P_OLD_TOLERANCE:
+                raise EstimationError(
+                    f"delta claims p_old={p_old!r} for pair {key}, but the "
+                    f"store's base probability is {stored!r}"
+                )
+            if not np.isfinite(p_new) or p_new < 0.0 or p_new > 1.0:
+                raise EstimationError(
+                    f"delta pair {key} has p_new={p_new!r}, expected [0, 1]"
+                )
+            if p_new == stored:
+                continue
+            cols.append(col)
+            new_ps.append(p_new)
+
+        if not cols:
+            return DerivedWorlds(self, np.empty(0, dtype=np.int64),
+                                 np.empty((self._n_samples, 0), dtype=bool),
+                                 np.empty(0, dtype=np.int64), None)
+
+        col_arr = np.asarray(cols, dtype=np.int64)
+        p_arr = np.asarray(new_ps, dtype=np.float64)
+        if self._has_uniforms:
+            new_cols = self.uniforms[:, col_arr] < p_arr
+        else:
+            nontrivial = (p_arr != 0.0) & (p_arr != 1.0)
+            if np.any(nontrivial):
+                raise EstimationError(
+                    "store was built from masks: only forced-present/absent "
+                    "deltas (p_new in {0, 1}) can be derived"
+                )
+            new_cols = np.broadcast_to(
+                p_arr == 1.0, (self._n_samples, col_arr.size)
+            ).copy()
+
+        flipped = new_cols != self.base_masks[:, col_arr]
+        dirty = np.flatnonzero(flipped.any(axis=1))
+        dirty_labels: np.ndarray | None = None
+        if dirty.size:
+            dirty_masks = self.base_masks[dirty]
+            dirty_masks[:, col_arr] = new_cols[dirty]
+            dirty_labels = component_labels_for_edges(
+                n, self._src, self._dst, dirty_masks,
+                backend=self._backend, n_workers=self._n_workers,
+            )
+        return DerivedWorlds(self, col_arr, new_cols, dirty, dirty_labels)
+
+    # -- discrepancy ----------------------------------------------------- #
+
+    def discrepancy(
+        self,
+        view: "DerivedWorlds",
+        n_pairs: int | None = None,
+        pairs: np.ndarray | None = None,
+        seed=None,
+        per_pair: bool = True,
+        base_counts: np.ndarray | None = None,
+    ) -> float:
+        """Reliability discrepancy between the base graph and ``view``.
+
+        Mirrors :func:`repro.reliability.reliability_discrepancy`'s pair
+        policy: all pairs when the graph is small enough and neither
+        ``n_pairs`` nor ``pairs`` is given, a sampled pair set otherwise.
+        Passing an explicit ``pairs`` array (with optional precomputed
+        ``base_counts``) lets repeated callers -- the sigma search --
+        evaluate every candidate on one fixed pair set.
+        """
+        n = self._graph.n_nodes
+        total_pairs = n * (n - 1) / 2
+        use_all = pairs is None and n_pairs is None and n <= FULL_MATRIX_LIMIT
+        if use_all:
+            diff = np.abs(
+                self.base_pairwise_reliability() - view.pairwise_reliability()
+            )
+            total = float(np.triu(diff, k=1).sum())
+            evaluated = total_pairs
+        else:
+            if pairs is None:
+                m = int(n_pairs) if n_pairs is not None else DEFAULT_PAIR_SAMPLE
+                pairs = sample_vertex_pairs(n, m, seed=seed)
+            else:
+                pairs = _validate_pairs(pairs)
+            if base_counts is None:
+                base_counts = self.base_pair_equal_counts(pairs)
+            base_r = base_counts / self._n_samples
+            view_r = view.reliability_of_pairs(pairs, base_counts=base_counts)
+            diff = np.abs(base_r - view_r)
+            total = float(diff.sum())
+            evaluated = pairs.shape[0]
+
+        if per_pair:
+            return total / evaluated
+        if use_all:
+            return total
+        return total / evaluated * total_pairs
+
+
+class DerivedWorlds:
+    """One candidate graph's worlds, derived from a :class:`WorldStore`.
+
+    Clean worlds alias the store's caches; only the dirty rows (worlds
+    where a changed edge flipped) carry fresh labels.  All queries match
+    a full recompute over :meth:`materialize` bit for bit.
+    """
+
+    def __init__(
+        self,
+        store: WorldStore,
+        cols: np.ndarray,
+        new_cols: np.ndarray,
+        dirty: np.ndarray,
+        dirty_labels: np.ndarray | None,
+    ):
+        self._store = store
+        self._cols = cols
+        self._new_cols = new_cols
+        self._dirty = dirty
+        self._dirty_labels = dirty_labels
+        self._labels: np.ndarray | None = None
+        self._pair_counts: np.ndarray | None = None
+
+    @property
+    def store(self) -> WorldStore:
+        return self._store
+
+    @property
+    def n_samples(self) -> int:
+        return self._store.n_samples
+
+    @property
+    def n_dirty(self) -> int:
+        """Worlds whose realization changed (and were relabeled)."""
+        return int(self._dirty.size)
+
+    @property
+    def dirty_worlds(self) -> np.ndarray:
+        """Row indices of the relabeled worlds."""
+        return self._dirty
+
+    @property
+    def dirty_labels(self) -> np.ndarray:
+        """Fresh labels of the dirty worlds, ``(n_dirty, n)``."""
+        if self._dirty_labels is None:
+            return np.empty((0, self._store.graph.n_nodes), dtype=np.int32)
+        return self._dirty_labels
+
+    def materialize(self) -> np.ndarray:
+        """The full ``(N, n_columns)`` mask matrix of this candidate.
+
+        Intended for audits: a fresh labeling of this matrix must agree
+        with every incremental answer bit for bit.
+        """
+        masks = self._store.base_masks.copy()
+        if self._cols.size:
+            masks[:, self._cols] = self._new_cols
+        return masks
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Int ``(N, n)`` component labels of the candidate's worlds."""
+        if self._labels is None:
+            base = self._store.base_labels
+            if self._dirty.size == 0:
+                self._labels = base
+            else:
+                out = base.copy()
+                out[self._dirty] = self._dirty_labels
+                self._labels = out
+        return self._labels
+
+    @property
+    def pair_counts(self) -> np.ndarray:
+        """Connected-pair count per world (int64, dirty rows patched)."""
+        if self._pair_counts is None:
+            base = self._store.base_pair_counts
+            if self._dirty.size == 0:
+                self._pair_counts = base
+            else:
+                out = base.copy()
+                out[self._dirty] = pair_counts_from_labels(self._dirty_labels)
+                self._pair_counts = out
+        return self._pair_counts
+
+    # -- queries (mirroring ReliabilityEstimator) ------------------------ #
+
+    def two_terminal(self, u: int, v: int) -> float:
+        n = self._store.graph.n_nodes
+        if not (0 <= u < n and 0 <= v < n):
+            raise EstimationError(f"vertex pair ({u}, {v}) outside 0..{n - 1}")
+        if u == v:
+            return 1.0
+        return float(self.reliability_of_pairs([[u, v]])[0])
+
+    def reliability_of_pairs(
+        self, pairs: np.ndarray, base_counts: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorized ``R_{u,v}`` for an ``(M, 2)`` pair array.
+
+        ``base_counts`` may carry the store's precomputed
+        :meth:`WorldStore.base_pair_equal_counts` for the same pairs.
+        """
+        pairs = _validate_pairs(pairs)
+        if base_counts is None:
+            base_counts = self._store.base_pair_equal_counts(pairs)
+        if self._dirty.size == 0:
+            counts = base_counts
+        else:
+            cached = self._store._cached_pair_equal(pairs)
+            if cached is not None:
+                dirty_base = cached.take(self._dirty, axis=0).sum(
+                    axis=0, dtype=np.int64
+                )
+            else:
+                dirty_base = _pair_equal_counts(
+                    self._store.base_labels[self._dirty], pairs
+                )
+            counts = (
+                base_counts
+                - dirty_base
+                + _pair_equal_counts(self._dirty_labels, pairs)
+            )
+        return counts / self._store.n_samples
+
+    def expected_connected_pairs(self) -> float:
+        return float(self.pair_counts.mean())
+
+    def average_all_pairs_reliability(self) -> float:
+        n = self._store.graph.n_nodes
+        total_pairs = n * (n - 1) / 2
+        if total_pairs == 0:
+            return 0.0
+        return self.expected_connected_pairs() / total_pairs
+
+    def pairwise_reliability(self) -> np.ndarray:
+        """Full ``n x n`` reliability matrix of the candidate.
+
+        Derived as ``base accumulator - dirty-row base contribution +
+        dirty-row candidate contribution`` -- exact integer arithmetic,
+        hence bit-identical to a full recompute.
+        """
+        n = self._store.graph.n_nodes
+        if n > FULL_MATRIX_LIMIT:
+            raise EstimationError(
+                f"full reliability matrix limited to {FULL_MATRIX_LIMIT} "
+                f"vertices, graph has {n}; use reliability_of_pairs"
+            )
+        acc = self._store.base_pair_acc
+        if self._dirty.size:
+            base_rows = self._store.base_labels[self._dirty]
+            acc = (
+                acc
+                - _pairwise_equal_acc(base_rows, n)
+                + _pairwise_equal_acc(self._dirty_labels, n)
+            )
+        result = acc / self._store.n_samples
+        np.fill_diagonal(result, 1.0)
+        return result

@@ -83,6 +83,11 @@ class WorldSampler:
         The uncertain graph to sample from.
     seed:
         Seed or generator; a fixed int gives a reproducible world stream.
+    antithetic:
+        Default for the batch methods: sample worlds in antithetic
+        (negatively correlated) pairs -- see :func:`sample_edge_masks`.
+        Each call may still override it via its own ``antithetic``
+        argument.
 
     The sampler exposes batch access (:meth:`masks`) for vectorized
     estimators and per-world iteration (:meth:`iter_worlds`) that yields
@@ -90,24 +95,35 @@ class WorldSampler:
     per-world graph algorithms (BFS, clustering, ...).
     """
 
-    def __init__(self, graph: UncertainGraph, seed=None):
+    def __init__(self, graph: UncertainGraph, seed=None, antithetic: bool = False):
         self._graph = graph
         self._rng = as_generator(seed)
+        self._antithetic = bool(antithetic)
 
     @property
     def graph(self) -> UncertainGraph:
         return self._graph
 
-    def masks(self, n_samples: int) -> np.ndarray:
-        """A fresh ``(n_samples, |E|)`` boolean world batch."""
-        return sample_edge_masks(self._graph, n_samples, seed=self._rng)
+    @property
+    def antithetic(self) -> bool:
+        return self._antithetic
 
-    def iter_worlds(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    def masks(self, n_samples: int, antithetic: bool | None = None) -> np.ndarray:
+        """A fresh ``(n_samples, |E|)`` boolean world batch."""
+        if antithetic is None:
+            antithetic = self._antithetic
+        return sample_edge_masks(
+            self._graph, n_samples, seed=self._rng, antithetic=antithetic
+        )
+
+    def iter_worlds(
+        self, n_samples: int, antithetic: bool | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield ``(src, dst)`` arrays of realized edges for each world.
 
         Sampling happens in one batch for speed; iteration slices it.
         """
-        masks = self.masks(n_samples)
+        masks = self.masks(n_samples, antithetic=antithetic)
         src, dst = self._graph.edge_src, self._graph.edge_dst
         for i in range(n_samples):
             keep = masks[i]

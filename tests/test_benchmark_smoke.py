@@ -12,6 +12,7 @@ skipped with ``-m``.
 import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 BENCHMARKS_DIR = str(Path(__file__).resolve().parent.parent / "benchmarks")
@@ -20,6 +21,7 @@ if BENCHMARKS_DIR not in sys.path:
 
 import bench_connectivity_backends as bench  # noqa: E402
 import bench_obfuscation_check as bench_obf  # noqa: E402
+import bench_world_store as bench_ws  # noqa: E402
 
 
 @pytest.mark.benchmark_smoke
@@ -29,7 +31,7 @@ def test_backend_comparison_smoke():
     )
     assert result["n_samples"] == 12
     backends = [row[0] for row in result["rows"]]
-    assert set(backends) == {"scipy", "python", "batched-scipy", "process"}
+    assert set(backends) == {"scipy", "python", "batched-scipy", "process", "auto"}
     assert all(row[4] for row in result["rows"]), "backend partitions diverged"
     assert all(row[1] >= 0.0 for row in result["rows"])
 
@@ -45,6 +47,32 @@ def test_obfuscation_check_comparison_smoke():
     checkers = [row[0] for row in result["rows"]]
     assert checkers == ["full", "incremental"]
     assert all(row[1] >= 0.0 for row in result["rows"])
+
+
+@pytest.mark.benchmark_smoke
+def test_world_store_comparison_smoke():
+    """Both evaluation strategies at tiny scale; bit-identity must hold."""
+    result = bench_ws.run_store_comparison(
+        scale=0.15, n_samples=16, n_deltas=3, delta_edges=6, n_pairs=200
+    )
+    assert result["n_deltas"] == 3
+    assert result["identical"], "store and fresh-oracle queries diverged"
+    strategies = [row[0] for row in result["rows"]]
+    assert strategies == ["fresh", "store"]
+    assert all(row[1] >= 0.0 for row in result["rows"])
+    assert 0.0 <= result["dirty_fraction"] <= 1.0
+
+
+@pytest.mark.benchmark_smoke
+def test_world_store_engine_smoke():
+    """Public reliability_discrepancy entry point under both engines."""
+    result = bench_ws.run_engine_comparison(
+        scale=0.15, n_samples=16, n_pairs=200, repeats=1
+    )
+    engines = [row[0] for row in result["rows"]]
+    assert engines == ["fresh", "store"]
+    # Different candidate streams: agreement is statistical, both finite.
+    assert all(np.isfinite(row[2]) for row in result["rows"])
 
 
 @pytest.mark.benchmark_smoke

@@ -80,8 +80,9 @@ class TestVariants:
 
     def test_connectivity_defaults(self):
         cfg = ChameleonConfig()
-        assert cfg.connectivity_backend == "scipy"
+        assert cfg.connectivity_backend == "auto"
         assert cfg.n_workers is None
+        assert cfg.utility_samples == 0
 
     def test_unknown_variant(self):
         with pytest.raises(ConfigurationError):
