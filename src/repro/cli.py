@@ -21,7 +21,7 @@ import sys
 import numpy as np
 
 from .baselines import rep_an
-from .core import anonymize
+from .core import TRIAL_BACKENDS, anonymize
 from .datasets import dataset_tolerance, load_dataset
 from .exceptions import ReproError
 from .metrics import compare_graphs
@@ -88,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="(k, epsilon) checker for the GenObf trial loop "
              "(incremental: delta-based degree-pmf cache; "
              "full: per-trial matrix rebuild, the correctness oracle)",
+    )
+    anon.add_argument(
+        "--trial-backend", default="serial", choices=TRIAL_BACKENDS,
+        help="GenObf trial executor (serial: in-process; process: "
+             "persistent worker pool over shared-memory base state -- "
+             "bit-identical results either way; --workers sets the pool "
+             "size)",
     )
     anon.add_argument(
         "--utility-samples", type=int, default=0,
@@ -186,6 +193,7 @@ def _cmd_anonymize(args) -> int:
                            seed=args.seed, n_trials=args.trials,
                            connectivity_backend=args.backend,
                            n_workers=args.workers,
+                           trial_backend=args.trial_backend,
                            obfuscation_checker=args.checker,
                            utility_samples=args.utility_samples)
     if not result.success:

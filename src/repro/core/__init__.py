@@ -4,6 +4,8 @@
   the RSME / RS / ME variant presets (Table II).
 * :func:`anonymize` / :class:`Chameleon` -- Algorithm 1 (noise search).
 * :func:`gen_obf` -- Algorithm 3 (randomized obfuscation attempt).
+* :mod:`repro.core.parallel` -- deterministic serial / multi-process
+  execution of the GenObf trials over shared-memory base state.
 * :mod:`repro.core.noise` -- truncated-normal noise and the max-entropy
   perturbation rule (Section V-F).
 * :mod:`repro.core.selection` -- uncertainty-aware edge selection.
@@ -24,6 +26,13 @@ from .noise import (
     perturb_probabilities,
     truncated_normal_noise,
 )
+from .parallel import (
+    TRIAL_BACKENDS,
+    ProcessTrialEngine,
+    SerialTrialEngine,
+    TrialResult,
+    create_trial_engine,
+)
 from .result import AnonymizationResult, GenObfOutcome
 from .selection import exclusion_set, select_candidate_edges, selection_weights
 
@@ -38,6 +47,11 @@ __all__ = [
     "gen_obf",
     "AnonymizationResult",
     "GenObfOutcome",
+    "TRIAL_BACKENDS",
+    "TrialResult",
+    "SerialTrialEngine",
+    "ProcessTrialEngine",
+    "create_trial_engine",
     "truncated_normal_noise",
     "draw_noise",
     "apply_max_entropy",

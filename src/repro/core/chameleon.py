@@ -39,7 +39,8 @@ from ..reliability.worldstore import (
 from ..ugraph.graph import UncertainGraph
 from ..ugraph.validation import validate_graph, validate_privacy_parameters
 from .config import ChameleonConfig, variant_config
-from .genobf import build_selection_context, gen_obf
+from .genobf import build_selection_context
+from .parallel import create_trial_engine
 from .result import AnonymizationResult, GenObfOutcome
 
 __all__ = ["Chameleon", "anonymize"]
@@ -98,6 +99,11 @@ class Chameleon:
 
         started = time.perf_counter()
         context = build_selection_context(graph, config, knowledge, seed=rng)
+        # Root entropy of the per-trial SeedSequence streams (see
+        # repro.core.parallel): drawn once from the run generator, so the
+        # whole search stays seed-reproducible while individual trials
+        # become independent of execution order and backend.
+        trial_entropy = int(rng.integers(0, 2**63 - 1))
         # One degree-pmf cache serves every GenObf trial of every sigma
         # probe: all candidates are deltas against the same base graph.
         cache = (
@@ -131,7 +137,7 @@ class Chameleon:
                     graph.n_nodes, DEFAULT_PAIR_SAMPLE, seed=rng
                 )
 
-        def score_utility(outcome: GenObfOutcome) -> None:
+        def score_utility(probe_index: int, outcome: GenObfOutcome) -> None:
             nonlocal utility_base_counts
             if store is None or outcome.graph is None:
                 return
@@ -141,7 +147,10 @@ class Chameleon:
             value = store.discrepancy(
                 view, pairs=utility_pairs, base_counts=utility_base_counts
             )
-            utility_scores[id(outcome)] = value
+            # Keyed by the stable probe counter: id(outcome) is only
+            # unique while the outcome object is alive, so a recycled id
+            # could silently attach another probe's score to the winner.
+            utility_scores[probe_index] = value
             utility_history.append((outcome.sigma, value))
             logger.debug(
                 "utility sigma=%.5g -> Delta=%.6g (%d/%d dirty worlds)",
@@ -154,13 +163,11 @@ class Chameleon:
             graph.n_nodes, graph.n_edges,
         )
 
-        def run(sigma: float) -> GenObfOutcome:
+        def record(probe_index: int, outcome: GenObfOutcome) -> GenObfOutcome:
             nonlocal calls
             calls += 1
-            outcome = gen_obf(graph, config, sigma, context, seed=rng,
-                              cache=cache)
             history.append((outcome.sigma, outcome.epsilon_achieved))
-            score_utility(outcome)
+            score_utility(probe_index, outcome)
             logger.debug(
                 "GenObf sigma=%.5g -> eps_hat=%.4g (%s)",
                 outcome.sigma, outcome.epsilon_achieved,
@@ -174,8 +181,14 @@ class Chameleon:
         # graphs the max-entropy rule reflects past r = 1/2 (p~ -> 1 - p),
         # so excessive noise can also fail and the feasible region is a
         # band.  We alternate 2^i and 2^-i multiples of sigma_initial until
-        # one succeeds (see DESIGN.md, documented deviations).
+        # one succeeds (see DESIGN.md, documented deviations).  The probe
+        # levels are all known up front, so the engine can dispatch the
+        # ladder as one task wave (the process backend runs later probes
+        # speculatively and cancels them once a bracket is found; the
+        # outcome list -- and thus history and n_genobf_calls -- matches
+        # the sequential walk exactly).
         best: GenObfOutcome | None = None
+        best_probe = -1
         sigma_high = config.sigma_initial
         probes = [config.sigma_initial]
         factor = 2.0
@@ -188,54 +201,76 @@ class Chameleon:
             if config.sigma_initial / factor >= _SIGMA_FLOOR:
                 probes.append(config.sigma_initial / factor)
             factor *= 2.0
-        for sigma in probes:
-            outcome = run(sigma)
-            if outcome.success:
-                best = outcome
-                sigma_high = sigma
-                break
-        if best is None:
-            elapsed = time.perf_counter() - started
-            logger.warning(
-                "anonymize FAILED: no (k=%d, eps=%g)-obfuscation at any "
-                "probed sigma (%d GenObf calls)",
-                config.k, config.epsilon, calls,
-            )
-            return AnonymizationResult(
-                graph=None,
-                method=config.name,
-                k=config.k,
-                epsilon=config.epsilon,
-                # Bracketing probed alternating 2^i / 2^-i multiples, so
-                # probes[-1] is the *smallest* downward probe; the noise
-                # range actually exhausted is the largest sigma tried.
-                sigma=float(max(probes)),
-                epsilon_achieved=1.0,
-                report=None,
-                n_genobf_calls=calls,
-                sigma_history=tuple(history),
-                elapsed_seconds=elapsed,
-                utility_history=tuple(utility_history),
-            )
-        sigma_low = 0.0
 
-        # Phase 2 -- bisection (Algorithm 1, lines 6-11).
-        while sigma_high - sigma_low > config.sigma_tolerance:
-            sigma_mid = (sigma_high + sigma_low) / 2.0
-            outcome = run(sigma_mid)
-            if outcome.success:
-                sigma_high = sigma_mid
-                best = outcome
-            else:
-                sigma_low = sigma_mid
+        engine = create_trial_engine(
+            graph, config, context, cache=cache, entropy=trial_entropy
+        )
+        trial_workers = engine.n_workers
+        search_started = time.perf_counter()
+        try:
+            outcomes = engine.run_ladder(probes, first_probe_index=0)
+            for i, outcome in enumerate(outcomes):
+                record(i, outcome)
+            if outcomes and outcomes[-1].success:
+                best = outcomes[-1]
+                best_probe = len(outcomes) - 1
+                sigma_high = best.sigma
+            if best is None:
+                search_seconds = time.perf_counter() - search_started
+                elapsed = time.perf_counter() - started
+                logger.warning(
+                    "anonymize FAILED: no (k=%d, eps=%g)-obfuscation at any "
+                    "probed sigma (%d GenObf calls)",
+                    config.k, config.epsilon, calls,
+                )
+                return AnonymizationResult(
+                    graph=None,
+                    method=config.name,
+                    k=config.k,
+                    epsilon=config.epsilon,
+                    # Bracketing probed alternating 2^i / 2^-i multiples, so
+                    # probes[-1] is the *smallest* downward probe; the noise
+                    # range actually exhausted is the largest sigma tried.
+                    sigma=float(max(probes)),
+                    epsilon_achieved=1.0,
+                    report=None,
+                    n_genobf_calls=calls,
+                    sigma_history=tuple(history),
+                    elapsed_seconds=elapsed,
+                    trial_backend=engine.backend,
+                    trial_workers=trial_workers,
+                    search_seconds=search_seconds,
+                    utility_history=tuple(utility_history),
+                )
+            sigma_low = 0.0
+
+            # Phase 2 -- bisection (Algorithm 1, lines 6-11).  Probe
+            # indices continue past the ladder's, keeping every trial
+            # stream unique within the run.
+            probe_counter = len(outcomes)
+            while sigma_high - sigma_low > config.sigma_tolerance:
+                sigma_mid = (sigma_high + sigma_low) / 2.0
+                outcome = record(
+                    probe_counter, engine.run_probe(probe_counter, sigma_mid)
+                )
+                if outcome.success:
+                    sigma_high = sigma_mid
+                    best = outcome
+                    best_probe = probe_counter
+                else:
+                    sigma_low = sigma_mid
+                probe_counter += 1
+            search_seconds = time.perf_counter() - search_started
+        finally:
+            engine.close()
 
         elapsed = time.perf_counter() - started
         assert best is not None and best.graph is not None
         logger.info(
             "anonymize ok: method=%s k=%d sigma=%.5g eps_hat=%.4g "
-            "(%d GenObf calls, %.2fs)",
+            "(%d GenObf calls, %.2fs search %.2fs, backend=%s x%d)",
             config.name, config.k, best.sigma, best.epsilon_achieved,
-            calls, elapsed,
+            calls, elapsed, search_seconds, engine.backend, trial_workers,
         )
         return AnonymizationResult(
             graph=best.graph,
@@ -248,7 +283,10 @@ class Chameleon:
             n_genobf_calls=calls,
             sigma_history=tuple(history),
             elapsed_seconds=elapsed,
-            utility_discrepancy=utility_scores.get(id(best)),
+            trial_backend=engine.backend,
+            trial_workers=trial_workers,
+            search_seconds=search_seconds,
+            utility_discrepancy=utility_scores.get(best_probe),
             utility_history=tuple(utility_history),
         )
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from ..exceptions import ConfigurationError
 from ..privacy.incremental import OBFUSCATION_CHECKERS
 from ..reliability.connectivity import CONNECTIVITY_BACKENDS
+from .parallel import TRIAL_BACKENDS
 
 __all__ = ["ChameleonConfig", "variant_config", "VARIANTS"]
 
@@ -67,8 +68,15 @@ class ChameleonConfig:
         ``AnonymizationResult.utility_discrepancy`` reports the accepted
         solution's score.  0 (default) skips utility verification.
     n_workers:
-        Worker count for the ``"process"`` connectivity backend; ``None``
-        defers to ``REPRO_NUM_WORKERS`` / CPU count.
+        Worker count for the ``"process"`` connectivity and trial
+        backends; ``None`` defers to ``REPRO_NUM_WORKERS`` / CPU count.
+    trial_backend:
+        Execution backend for the GenObf trials of the sigma search (one
+        of :data:`repro.core.parallel.TRIAL_BACKENDS`).  ``"serial"``
+        (default) runs trials in-process; ``"process"`` runs them on a
+        persistent per-run worker pool over shared-memory base state.
+        Results are bit-identical either way (per-trial
+        ``SeedSequence`` streams keyed by probe and trial index).
     obfuscation_checker:
         ``"incremental"`` (default) runs the GenObf trial loop on a
         :class:`repro.privacy.DegreeUncertaintyCache`, recomputing degree
@@ -105,6 +113,7 @@ class ChameleonConfig:
     connectivity_backend: str = "auto"
     n_workers: int | None = None
     utility_samples: int = 0
+    trial_backend: str = "serial"
     obfuscation_checker: str = "incremental"
     selection_mode: str = "reliability-sensitive"
     perturbation_mode: str = "max-entropy"
@@ -149,6 +158,11 @@ class ChameleonConfig:
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1 (or None for auto), got {self.n_workers}"
+            )
+        if self.trial_backend not in TRIAL_BACKENDS:
+            raise ConfigurationError(
+                f"trial_backend must be one of {TRIAL_BACKENDS}, "
+                f"got {self.trial_backend!r}"
             )
         if self.obfuscation_checker not in OBFUSCATION_CHECKERS:
             raise ConfigurationError(

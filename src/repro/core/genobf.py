@@ -20,7 +20,10 @@ trials; each trial
 The best (lowest achieved epsilon) satisfying candidate over the trials
 is returned; the sentinel ``epsilon_achieved = 1`` reports total failure,
 which the sigma search in :mod:`repro.core.chameleon` interprets as "more
-noise needed".
+noise needed".  The trial loop itself lives in
+:mod:`repro.core.parallel`: each trial runs on its own
+``SeedSequence``-keyed stream, so the serial path here and the
+multi-process backend produce bit-identical results.
 
 The expensive per-graph invariants -- uniqueness scores, reliability
 relevance, exclusion set, sampling weights -- do not depend on ``sigma``,
@@ -36,15 +39,13 @@ import numpy as np
 
 from .._rng import as_generator
 from ..privacy.incremental import DegreeUncertaintyCache
-from ..privacy.obfuscation import check_obfuscation
 from ..privacy.uniqueness import degree_uniqueness
 from ..reliability.relevance import compute_relevance
 from ..ugraph.graph import UncertainGraph
-from ..ugraph.operations import overlay
 from .config import ChameleonConfig
-from .noise import perturb_probabilities
-from .result import FAILURE_EPSILON, GenObfOutcome
-from .selection import exclusion_set, select_candidate_edges, selection_weights
+from .parallel import SerialTrialEngine, _edge_noise_scales  # noqa: F401
+from .result import GenObfOutcome
+from .selection import exclusion_set, selection_weights
 
 __all__ = ["SelectionContext", "build_selection_context", "gen_obf"]
 
@@ -132,27 +133,6 @@ def build_selection_context(
     )
 
 
-def _edge_noise_scales(
-    us: np.ndarray,
-    vs: np.ndarray,
-    vertex_scores: np.ndarray,
-    sigma: float,
-) -> np.ndarray:
-    """Per-edge scales ``sigma(e)`` with mean exactly ``sigma``.
-
-    ``sigma(e) = sigma * |E_C| * Q^e / sum Q^e`` where
-    ``Q^e = (Q^u + Q^v) / 2`` (Algorithm 3, "edge perturbation").  A
-    degenerate all-zero score vector falls back to the uniform budget.
-    """
-    if us.size == 0:
-        return np.zeros(0, dtype=np.float64)
-    q_edge = (vertex_scores[us] + vertex_scores[vs]) / 2.0
-    total = q_edge.sum()
-    if total <= 0.0:
-        return np.full(us.size, sigma, dtype=np.float64)
-    return sigma * us.size * q_edge / total
-
-
 def gen_obf(
     graph: UncertainGraph,
     config: ChameleonConfig,
@@ -160,79 +140,32 @@ def gen_obf(
     context: SelectionContext,
     seed=None,
     cache: DegreeUncertaintyCache | None = None,
+    probe_index: int = 0,
 ) -> GenObfOutcome:
     """One GenObf call: ``t`` trials at noise level ``sigma``.
 
     Returns the best satisfying candidate or the failure sentinel
     (``epsilon_achieved == 1``).
 
-    With ``config.obfuscation_checker == "incremental"`` each trial is
-    checked as a *delta* against ``graph`` through a
-    :class:`DegreeUncertaintyCache` -- only the endpoints of perturbed
-    candidate edges recompute their degree pmfs, and the candidate graph
-    is materialized only when a trial actually improves the best.  Pass
-    ``cache`` (built once per anonymization run by
+    ``seed`` (consumed once, to draw the run entropy) roots the per-trial
+    :class:`~numpy.random.SeedSequence` streams keyed by
+    ``(probe_index, trial_index)`` -- see
+    :func:`repro.core.parallel.trial_generator` -- so trials are
+    independent of execution order and this function is the serial
+    reference for the parallel backends.  Each trial describes its
+    candidate as delta arrays; with
+    ``config.obfuscation_checker == "incremental"`` the delta feeds a
+    :class:`DegreeUncertaintyCache` (only perturbed endpoints recompute
+    their degree pmfs) and only the winning trial is materialized into a
+    graph.  Pass ``cache`` (built once per anonymization run by
     :meth:`repro.core.chameleon.Chameleon.anonymize`) to reuse the base
     pmfs across every sigma probe; otherwise one is built per call.
     The ``"full"`` checker rebuilds the matrix per trial and serves as
     the correctness oracle -- both return bit-identical reports.
     """
     rng = as_generator(seed)
-    incremental = config.obfuscation_checker == "incremental"
-    if incremental and cache is None:
-        cache = DegreeUncertaintyCache(graph, knowledge=context.knowledge)
-    best_epsilon = FAILURE_EPSILON
-    best_graph = None
-    best_report = None
-
-    for __ in range(config.n_trials):
-        pairs = select_candidate_edges(
-            graph,
-            context.weights,
-            config.size_multiplier,
-            seed=rng,
-        )
-        if not pairs:
-            continue
-        us = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
-        vs = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
-        current = graph.pair_probabilities(us, vs)
-        scales = _edge_noise_scales(us, vs, context.weights, sigma)
-        perturbed = perturb_probabilities(
-            current,
-            scales,
-            mode=config.perturbation_mode,
-            white_noise=config.white_noise,
-            seed=rng,
-        )
-        if incremental:
-            delta = list(zip(us.tolist(), vs.tolist(), current.tolist(),
-                             perturbed.tolist()))
-            report = cache.check_delta(
-                delta, config.k, config.epsilon, knowledge=context.knowledge
-            )
-            candidate = None
-        else:
-            candidate = overlay(
-                graph, ((u, v, p) for (u, v), p in zip(pairs, perturbed))
-            )
-            report = check_obfuscation(
-                candidate, config.k, config.epsilon,
-                knowledge=context.knowledge,
-            )
-        if report.satisfied and report.epsilon_achieved < best_epsilon:
-            if candidate is None:
-                candidate = overlay(
-                    graph, ((u, v, p) for (u, v), p in zip(pairs, perturbed))
-                )
-            best_epsilon = report.epsilon_achieved
-            best_graph = candidate
-            best_report = report
-
-    return GenObfOutcome(
-        sigma=float(sigma),
-        epsilon_achieved=float(best_epsilon),
-        graph=best_graph,
-        report=best_report,
-        n_trials=config.n_trials,
+    entropy = int(rng.integers(0, 2**63 - 1))
+    engine = SerialTrialEngine(
+        graph, config, context, cache=cache, entropy=entropy
     )
+    return engine.run_probe(probe_index, sigma)

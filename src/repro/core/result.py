@@ -64,6 +64,15 @@ class AnonymizationResult:
         ``(sigma, epsilon_achieved)`` per GenObf call, in search order.
     elapsed_seconds:
         Wall-clock time of the run.
+    trial_backend:
+        Trial-execution backend of the sigma search (``"serial"`` or
+        ``"process"``; see :data:`repro.core.parallel.TRIAL_BACKENDS`).
+    trial_workers:
+        Worker count the trial engine ran with (1 for serial).
+    search_seconds:
+        Wall-clock time spent inside the sigma search (bracketing ladder
+        plus bisection), excluding run setup such as selection-context
+        and degree-pmf construction.
     utility_discrepancy:
         Reliability discrepancy of the accepted solution against the
         input graph, measured on the anonymizer's world store when
@@ -84,6 +93,9 @@ class AnonymizationResult:
     n_genobf_calls: int
     sigma_history: tuple[tuple[float, float], ...] = field(default_factory=tuple)
     elapsed_seconds: float = 0.0
+    trial_backend: str = "serial"
+    trial_workers: int = 1
+    search_seconds: float = 0.0
     utility_discrepancy: float | None = None
     utility_history: tuple[tuple[float, float], ...] = field(default_factory=tuple)
 
@@ -110,6 +122,9 @@ class AnonymizationResult:
             "epsilon_achieved": self.epsilon_achieved,
             "n_genobf_calls": self.n_genobf_calls,
             "elapsed_seconds": self.elapsed_seconds,
+            "trial_backend": self.trial_backend,
+            "trial_workers": self.trial_workers,
+            "search_seconds": self.search_seconds,
             "utility_discrepancy": self.utility_discrepancy,
         }
 

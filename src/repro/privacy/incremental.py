@@ -57,6 +57,21 @@ __all__ = ["OBFUSCATION_CHECKERS", "DegreeUncertaintyCache"]
 OBFUSCATION_CHECKERS = ("incremental", "full")
 
 
+def _build_incident_ids(graph: UncertainGraph) -> list[list[int]]:
+    """Dense incident edge ids per vertex, in edge order.
+
+    This is the order ``incident_probability_lists()`` walks, which fixes
+    the degree-pmf DP's float operation sequence.
+    """
+    incident_ids: list[list[int]] = [[] for __ in range(graph.n_nodes)]
+    for i, (u, v) in enumerate(
+        zip(graph.edge_src.tolist(), graph.edge_dst.tolist())
+    ):
+        incident_ids[u].append(i)
+        incident_ids[v].append(i)
+    return incident_ids
+
+
 class DegreeUncertaintyCache:
     """Per-run cache answering delta-based (k, epsilon)-obfuscation checks.
 
@@ -88,16 +103,7 @@ class DegreeUncertaintyCache:
                 f"({self._n},)"
             )
 
-        # Dense incident edge ids per vertex, in edge order -- the order
-        # incident_probability_lists() walks, which fixes the DP's float
-        # operation sequence.
-        incident_ids: list[list[int]] = [[] for __ in range(self._n)]
-        for i, (u, v) in enumerate(
-            zip(graph.edge_src.tolist(), graph.edge_dst.tolist())
-        ):
-            incident_ids[u].append(i)
-            incident_ids[v].append(i)
-        self._incident_ids = incident_ids
+        self._incident_ids = _build_incident_ids(graph)
 
         # Base-graph pmf rows assembled into the degree-uncertainty
         # matrix.  The matrix only ever grows wider (extra all-zero
@@ -111,6 +117,42 @@ class DegreeUncertaintyCache:
         for w, pmf in enumerate(pmfs):
             self._matrix[w, : pmf.shape[0]] = pmf
 
+    @classmethod
+    def from_base_matrix(
+        cls,
+        graph: UncertainGraph,
+        matrix: np.ndarray,
+        knowledge: np.ndarray | None = None,
+    ) -> "DegreeUncertaintyCache":
+        """Rebuild a cache from an already-computed base pmf matrix.
+
+        The Poisson-binomial DP over every vertex is the expensive part
+        of construction; parallel trial workers skip it by receiving the
+        parent cache's :attr:`base_matrix` through shared memory and
+        re-deriving only the (cheap) incident-id structure.  ``matrix``
+        is copied, so the caller's buffer may be a read-only view.
+        """
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._n = graph.n_nodes
+        if knowledge is None:
+            knowledge = expected_degree_knowledge(graph)
+        self._knowledge = np.asarray(knowledge, dtype=np.int64)
+        if self._knowledge.shape != (self._n,):
+            raise ObfuscationError(
+                f"knowledge has shape {self._knowledge.shape}, expected "
+                f"({self._n},)"
+            )
+        matrix = np.array(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != self._n:
+            raise ObfuscationError(
+                f"base matrix has shape {matrix.shape}, expected "
+                f"({self._n}, width)"
+            )
+        self._incident_ids = _build_incident_ids(graph)
+        self._matrix = matrix
+        return self
+
     @property
     def graph(self) -> UncertainGraph:
         return self._graph
@@ -118,6 +160,16 @@ class DegreeUncertaintyCache:
     @property
     def knowledge(self) -> np.ndarray:
         return self._knowledge
+
+    @property
+    def base_matrix(self) -> np.ndarray:
+        """The base graph's degree-pmf matrix (treat as read-only).
+
+        Publishing this to :meth:`from_base_matrix` reproduces the cache
+        without rerunning the per-vertex DP -- both caches then answer
+        every :meth:`check_delta` bit-identically.
+        """
+        return self._matrix
 
     def _incident_probabilities(
         self,
@@ -242,6 +294,39 @@ class DegreeUncertaintyCache:
         finally:
             for w, row in saved.items():
                 self._matrix[w] = row
+
+    def check_edge_arrays(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        p_old: np.ndarray,
+        p_new: np.ndarray,
+        k: int,
+        epsilon: float,
+        knowledge: np.ndarray | None = None,
+    ) -> ObfuscationReport:
+        """:meth:`check_delta` over parallel delta arrays.
+
+        The GenObf trial path describes a candidate as four parallel
+        arrays (endpoints, base probabilities, perturbed probabilities);
+        this adapter lets the same arrays drive both the obfuscation
+        check and -- through
+        :func:`repro.ugraph.operations.apply_edge_updates` -- the
+        materialization of a winning candidate, with no per-pair
+        generator overlays in between.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        p_old = np.asarray(p_old, dtype=np.float64)
+        p_new = np.asarray(p_new, dtype=np.float64)
+        if not (us.shape == vs.shape == p_old.shape == p_new.shape) \
+                or us.ndim != 1:
+            raise ObfuscationError(
+                "delta arrays must be 1-D and parallel, got shapes "
+                f"{us.shape} / {vs.shape} / {p_old.shape} / {p_new.shape}"
+            )
+        delta = zip(us.tolist(), vs.tolist(), p_old.tolist(), p_new.tolist())
+        return self.check_delta(delta, k, epsilon, knowledge=knowledge)
 
     def check_base(
         self, k: int, epsilon: float, knowledge: np.ndarray | None = None

@@ -74,12 +74,14 @@ class RelevanceResult:
         return self.vertex_relevance / top
 
 
-def _merge_gain_accumulate(
+def _merge_gain_accumulate_loop(
     graph: UncertainGraph, masks: np.ndarray, labels: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Sum of add-edge pair-count gains over worlds where each edge is absent.
+    """Per-world reference for :func:`_merge_gain_accumulate`.
 
-    Returns ``(gain_sums, absent_counts)`` indexed by edge.
+    Kept as the oracle of the equality property test
+    (``tests/test_relevance.py``); the vectorized path must match it
+    bit-for-bit.
     """
     n_samples = masks.shape[0]
     src, dst = graph.edge_src, graph.edge_dst
@@ -93,6 +95,47 @@ def _merge_gain_accumulate(
         absent = ~masks[i]
         gain_sums[absent] += gains[absent]
         absent_counts += absent
+    return gain_sums, absent_counts
+
+
+def _merge_gain_accumulate(
+    graph: UncertainGraph, masks: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum of add-edge pair-count gains over worlds where each edge is absent.
+
+    Returns ``(gain_sums, absent_counts)`` indexed by edge.
+
+    Vectorized over chunks of worlds: one offset ``bincount`` over the
+    chunk's label block yields the per-world component-size matrix, and
+    ``take_along_axis`` reads the endpoint sizes for every (world, edge)
+    pair at once.  Gains are products of component sizes -- integers
+    bounded by ``n^2``, with totals far below 2^53 -- so every partial
+    sum is exactly representable and the reordered summation is
+    bit-identical to :func:`_merge_gain_accumulate_loop`.  Chunking keeps
+    the ``(worlds, n)`` and ``(worlds, |E|)`` intermediates bounded.
+    """
+    n_samples = masks.shape[0]
+    n = graph.n_nodes
+    src, dst = graph.edge_src, graph.edge_dst
+    gain_sums = np.zeros(graph.n_edges, dtype=np.float64)
+    absent_counts = np.zeros(graph.n_edges, dtype=np.int64)
+    if n_samples == 0 or graph.n_edges == 0:
+        return gain_sums, absent_counts
+    chunk = max(1, 2_000_000 // max(n + 2 * graph.n_edges, 1))
+    offsets = np.arange(chunk, dtype=np.int64)[:, None] * n
+    for start in range(0, n_samples, chunk):
+        block = labels[start : start + chunk].astype(np.int64, copy=False)
+        m = block.shape[0]
+        flat = (block + offsets[:m]).ravel()
+        sizes = np.bincount(flat, minlength=m * n).reshape(m, n)
+        lu = block[:, src]
+        lv = block[:, dst]
+        size_u = np.take_along_axis(sizes, lu, axis=1)
+        size_v = np.take_along_axis(sizes, lv, axis=1)
+        gains = np.where(lu != lv, size_u.astype(np.float64) * size_v, 0.0)
+        absent = ~masks[start : start + chunk]
+        gain_sums += (gains * absent).sum(axis=0)
+        absent_counts += absent.sum(axis=0)
     return gain_sums, absent_counts
 
 

@@ -23,6 +23,7 @@ from .io import (
 )
 from .operations import (
     align_edge_universe,
+    apply_edge_updates,
     edge_probability_map,
     induced_subgraph,
     overlay,
@@ -58,6 +59,7 @@ __all__ = [
     "induced_subgraph",
     "relabel",
     "overlay",
+    "apply_edge_updates",
     "align_edge_universe",
     "edge_probability_map",
     "probability_l1_distance",

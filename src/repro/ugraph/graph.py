@@ -200,15 +200,13 @@ class UncertainGraph:
             self._pair_key_cache = (keys[order], order)
         return self._pair_key_cache
 
-    def pair_probabilities(self, us, vs) -> np.ndarray:
-        """Vectorized :meth:`probability` over parallel endpoint arrays.
+    def pair_edge_ids(self, us, vs) -> np.ndarray:
+        """Vectorized :meth:`edge_id` over parallel endpoint arrays.
 
-        Returns the existence probability of each ``(us[i], vs[i])``
-        pair, 0.0 for pairs that are not stored edges (including
-        out-of-range or degenerate pairs, matching the scalar lookup).
-        Hot loops (the GenObf trial loop) use this to price a whole
-        candidate edge set with one sorted-key search instead of per-pair
-        dict lookups.
+        Returns the dense edge index of each ``(us[i], vs[i])`` pair and
+        ``-1`` for pairs that are not stored edges (including
+        out-of-range or degenerate pairs).  One sorted-key search prices
+        a whole candidate edge set instead of per-pair dict lookups.
         """
         us = np.asarray(us, dtype=np.int64)
         vs = np.asarray(vs, dtype=np.int64)
@@ -217,7 +215,7 @@ class UncertainGraph:
                 f"endpoint arrays must be 1-D and parallel, got shapes "
                 f"{us.shape} / {vs.shape}"
             )
-        out = np.zeros(us.shape, dtype=np.float64)
+        out = np.full(us.shape, -1, dtype=np.int64)
         if us.size == 0 or self.n_edges == 0:
             return out
         lo = np.minimum(us, vs)
@@ -232,7 +230,23 @@ class UncertainGraph:
             & (hi < self._n)
             & (lo != hi)
         )
-        out[hit] = self._prob[order[pos[hit]]]
+        out[hit] = order[pos[hit]]
+        return out
+
+    def pair_probabilities(self, us, vs) -> np.ndarray:
+        """Vectorized :meth:`probability` over parallel endpoint arrays.
+
+        Returns the existence probability of each ``(us[i], vs[i])``
+        pair, 0.0 for pairs that are not stored edges (including
+        out-of-range or degenerate pairs, matching the scalar lookup).
+        Hot loops (the GenObf trial loop) use this to price a whole
+        candidate edge set with one sorted-key search instead of per-pair
+        dict lookups.
+        """
+        ids = self.pair_edge_ids(us, vs)
+        out = np.zeros(ids.shape, dtype=np.float64)
+        hit = ids >= 0
+        out[hit] = self._prob[ids[hit]]
         return out
 
     def endpoint_pairs(self) -> Iterator[tuple[int, int]]:

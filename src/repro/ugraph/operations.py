@@ -11,13 +11,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..exceptions import GraphConstructionError
+from ..exceptions import GraphConstructionError, InvalidProbabilityError
 from .graph import UncertainGraph
 
 __all__ = [
     "induced_subgraph",
     "relabel",
     "overlay",
+    "apply_edge_updates",
     "probability_l1_distance",
     "edge_probability_map",
     "align_edge_universe",
@@ -97,6 +98,90 @@ def overlay(
         merged[key] = float(p)
     triples = [(u, v, p) for (u, v), p in merged.items()]
     return UncertainGraph(base.n_nodes, triples, labels=base.labels)
+
+
+def apply_edge_updates(
+    base: UncertainGraph,
+    us: np.ndarray,
+    vs: np.ndarray,
+    probabilities: np.ndarray,
+) -> UncertainGraph:
+    """Array form of :func:`overlay` for delta-described candidates.
+
+    Produces the same graph as ``overlay(base, zip(us, vs,
+    probabilities))`` -- identical edge universe, edge ordering (base
+    edges in dense order, then new pairs in first-occurrence delta
+    order) and probabilities -- but from the base graph's arrays:
+    existing edges are overridden through one vectorized id lookup and
+    the structure caches are shared when no new pair is introduced.
+    Duplicate pairs keep the last probability, matching ``overlay``'s
+    dict semantics.  This is the materialization half of the GenObf
+    trial path; the incremental (k, epsilon) checker consumes the same
+    ``(us, vs, p)`` delta arrays.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if us.shape != vs.shape or us.shape != probabilities.shape or us.ndim != 1:
+        raise GraphConstructionError(
+            "endpoint and probability arrays must be 1-D and parallel, got "
+            f"shapes {us.shape} / {vs.shape} / {probabilities.shape}"
+        )
+    n = base.n_nodes
+    lo = np.minimum(us, vs)
+    hi = np.maximum(us, vs)
+    if us.size:
+        if int(lo.min()) < 0 or int(hi.max()) >= n:
+            raise GraphConstructionError(
+                f"edge update references a vertex outside 0..{n - 1}"
+            )
+        if bool((lo == hi).any()):
+            loop = int(lo[lo == hi][0])
+            raise GraphConstructionError(
+                f"self-loop on vertex {loop} is not allowed"
+            )
+        if (
+            not np.all(np.isfinite(probabilities))
+            or float(probabilities.min()) < 0.0
+            or float(probabilities.max()) > 1.0
+        ):
+            raise InvalidProbabilityError(
+                "updated probabilities must be finite values in [0, 1]"
+            )
+
+    ids = base.pair_edge_ids(lo, hi)
+    hit = ids >= 0
+    prob = base.edge_probabilities.copy()
+    prob[ids[hit]] = probabilities[hit]
+    miss = ~hit
+    if not bool(miss.any()):
+        return base.with_probabilities(prob)
+
+    # Fresh pairs: dedupe with overlay's dict semantics (first occurrence
+    # fixes the position, last occurrence fixes the probability).
+    fresh: dict[tuple[int, int], float] = {}
+    for u, v, p in zip(
+        lo[miss].tolist(), hi[miss].tolist(), probabilities[miss].tolist()
+    ):
+        fresh[(u, v)] = p
+    k = len(fresh)
+    new_src = np.fromiter((u for u, __ in fresh), dtype=np.int64, count=k)
+    new_dst = np.fromiter((v for __, v in fresh), dtype=np.int64, count=k)
+    new_prob = np.fromiter(fresh.values(), dtype=np.float64, count=k)
+
+    clone = object.__new__(UncertainGraph)
+    clone._n = n
+    clone._src = np.concatenate([base.edge_src, new_src])
+    clone._dst = np.concatenate([base.edge_dst, new_dst])
+    clone._prob = np.concatenate([prob, new_prob])
+    index = dict(base._index)
+    for offset, pair in enumerate(fresh):
+        index[pair] = base.n_edges + offset
+    clone._index = index
+    clone._labels = base._labels
+    clone._adjacency_cache = None
+    clone._pair_key_cache = None
+    return clone
 
 
 def align_edge_universe(
