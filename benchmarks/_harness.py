@@ -62,12 +62,90 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 # Output plumbing
 # --------------------------------------------------------------------- #
 
+def environment_block() -> str:
+    """One-line-per-fact execution environment footer for results files.
+
+    Derived from :func:`repro.core.execution_environment` so every
+    archived benchmark records which kernel backend (compiled numba vs
+    pure NumPy), CPU budget and library versions produced its numbers.
+    """
+    from repro.core import execution_environment
+
+    env = execution_environment()
+    kernels = env["kernels"]
+    lines = [
+        "environment:",
+        f"  python {env['python']} / numpy {env['numpy']} / "
+        f"scipy {env['scipy']}",
+        f"  kernel backend: {kernels['backend']} "
+        f"(numba available: {kernels['numba_available']}, "
+        f"version: {kernels['numba_version']})",
+        f"  usable cpus: {kernels['usable_cpus']}",
+    ]
+    if env["env"]:
+        knobs = ", ".join(f"{k}={v}" for k, v in sorted(env["env"].items()))
+        lines.append(f"  repro env: {knobs}")
+    return "\n".join(lines)
+
+
+def kernel_comparison(work_fn, repeats: int = 1):
+    """Time ``work_fn`` under every available kernel backend.
+
+    Returns ``(rows, note, outputs)``: table rows
+    ``[backend, seconds, speedup-vs-numpy]``, a note for the results
+    file, and ``{backend: last work_fn() return}`` so callers can audit
+    bit-equality between backends.  Each backend gets one untimed
+    warm-up call (JIT compilation on numba).  When numba is not
+    installed, only the numpy fallback is timed and the note honestly
+    records why no compiled speedup is reported -- the results file
+    never pretends a measurement happened.
+    """
+    from repro import kernels
+
+    backends = ["numpy"] + (["numba"] if kernels.numba_available() else [])
+    timings, outputs = {}, {}
+    for backend in backends:
+        previous = kernels.use(backend)
+        try:
+            work_fn()  # warm-up: allocator, and JIT compile under numba
+            started = time.perf_counter()
+            for __ in range(repeats):
+                outputs[backend] = work_fn()
+            timings[backend] = (time.perf_counter() - started) / repeats
+        finally:
+            kernels.use(previous)
+    rows = [
+        [backend, timings[backend], timings["numpy"] / timings[backend]]
+        for backend in backends
+    ]
+    if kernels.numba_available():
+        note = (
+            f"compiled-kernel speedup vs numpy fallback: "
+            f"x{timings['numpy'] / timings['numba']:.2f} "
+            f"(single-core, same inputs, bit-identical outputs)"
+        )
+    else:
+        note = (
+            "compiled-kernel speedup NOT measured: numba is not installed "
+            "in this environment, so only the pure-NumPy fallback ran. "
+            "Install the 'fast' extra (pip install repro[fast]) and rerun "
+            "to record the numba column."
+        )
+    return rows, note, outputs
+
+
 def emit(bench_name: str, text: str) -> None:
-    """Print a result table to the real stdout and archive it."""
+    """Print a result table to the real stdout and archive it.
+
+    The archived file carries the execution-environment footer so
+    numbers are never read without the backend/CPU context that
+    produced them.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     banner = f"\n=== {bench_name} ===\n{text}\n"
     print(banner, file=sys.__stdout__, flush=True)
-    (RESULTS_DIR / f"{bench_name}.txt").write_text(text + "\n")
+    archived = f"{text}\n\n{environment_block()}\n"
+    (RESULTS_DIR / f"{bench_name}.txt").write_text(archived)
 
 
 def format_table(headers: list[str], rows: list[list], precision: int = 4) -> str:

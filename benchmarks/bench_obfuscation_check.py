@@ -14,6 +14,13 @@ perturbed edge set -- under both selectable checkers:
 Every timed delta is also cross-checked for bit-identical reports, so the
 benchmark doubles as an end-to-end equivalence audit at realistic scale.
 
+A second table isolates the kernel layer: the checker's dominant inner
+work -- the Poisson-binomial degree-pmf DP behind the base-matrix build
+-- timed under each available ``repro.kernels`` backend (compiled numba
+vs pure-NumPy fallback), with a bit-equality audit between them.  When
+numba is absent the results file says so instead of recording a
+fictitious speedup.
+
 Scaling knobs (environment variables):
 
 * ``REPRO_BENCH_OBF_SCALE``  -- profile size multiplier (default 2.0,
@@ -146,6 +153,26 @@ def run_check_comparison(
     }
 
 
+def run_kernel_comparison(scale: float = OBF_SCALE, seed: int = OBF_SEED):
+    """Degree-pmf DP (the checker's kernel-bound core) per kernel backend.
+
+    Rebuilds the :class:`DegreeUncertaintyCache` base matrix -- one
+    Poisson-binomial DP per vertex -- under each available backend and
+    audits the matrices for bit-equality.
+    """
+    import _harness
+
+    graph = load_profile("brightkite", scale=scale, seed=seed)
+    rows, note, outputs = _harness.kernel_comparison(
+        lambda: DegreeUncertaintyCache(graph).base_matrix
+    )
+    matrices = list(outputs.values())
+    identical = all(
+        np.array_equal(matrices[0], matrix) for matrix in matrices[1:]
+    )
+    return rows, note, identical
+
+
 def test_bench_obfuscation_check():
     """Full-scale checker comparison (the recorded benchmark)."""
     import _harness
@@ -163,8 +190,19 @@ def test_bench_obfuscation_check():
         f"(k={OBF_K}, eps={OBF_EPSILON})\n"
         f"reports bit-identical: {result['identical']}\n"
     )
-    _harness.emit("bench_obfuscation_check", header + table)
+    kernel_rows, kernel_note, kernel_identical = run_kernel_comparison()
+    kernel_table = _harness.format_table(
+        ["kernel backend", "seconds/build", "speedup"], kernel_rows,
+    )
+    _harness.emit(
+        "bench_obfuscation_check",
+        header + table
+        + "\n\ndegree-pmf DP (base-matrix build) per kernel backend:\n"
+        + kernel_table
+        + f"\nbackends bit-identical: {kernel_identical}\n" + kernel_note,
+    )
     assert result["identical"], "incremental and full reports diverged"
+    assert kernel_identical, "kernel backends diverged on the base matrix"
     assert result["speedup"] >= 5.0, (
         f"expected >= 5x speedup, got {result['speedup']:.2f}x"
     )

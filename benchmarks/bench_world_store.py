@@ -25,6 +25,12 @@ under both engines on one materialized candidate (the anonymize ->
 evaluate path; the engines draw different candidate streams there, so
 agreement is statistical rather than bitwise).
 
+A third table isolates the kernel layer: the derive hot path --
+changed-column re-threshold + dirty-world union-find relabeling -- timed
+under each available ``repro.kernels`` backend with a bit-equality audit
+between them.  When numba is absent the results file says so instead of
+recording a fictitious speedup.
+
 Scaling knobs (environment variables):
 
 * ``REPRO_BENCH_WS_SCALE``   -- profile size multiplier (default 2.0,
@@ -255,6 +261,43 @@ def run_engine_comparison(
             "speedup": timings["fresh"] / timings["store"]}
 
 
+def run_kernel_comparison(
+    scale: float = WS_SCALE,
+    n_samples: int = WS_SAMPLES,
+    n_deltas: int = WS_DELTAS,
+    delta_edges: int = WS_EDGES,
+    seed: int = WS_SEED,
+):
+    """Derive hot path (re-threshold + relabel) per kernel backend.
+
+    Replays the same candidate-delta stream through
+    :meth:`WorldStore.derive` under each available backend and audits
+    the derived labels for bit-equality.
+    """
+    import _harness
+
+    graph = load_profile("brightkite", scale=scale, seed=seed)
+    rng = np.random.default_rng(seed)
+    sigmas = np.geomspace(SIGMA_HI, SIGMA_LO, num=n_deltas)
+    deltas = [
+        _sample_sigma_delta(graph, delta_edges, sigma, rng)
+        for sigma in sigmas
+    ]
+    store = WorldStore(graph, n_samples=n_samples, seed=seed,
+                       backend=WS_BACKEND)
+
+    def derive_stream():
+        return [store.derive(delta).labels for delta in deltas]
+
+    rows, note, outputs = _harness.kernel_comparison(derive_stream)
+    label_runs = list(outputs.values())
+    identical = all(
+        all(np.array_equal(a, b) for a, b in zip(label_runs[0], run))
+        for run in label_runs[1:]
+    )
+    return rows, note, identical
+
+
 def test_bench_world_store():
     """Full-scale store comparison (the recorded benchmark)."""
     import _harness
@@ -278,13 +321,22 @@ def test_bench_world_store():
         ["engine", "seconds/call", "discrepancy", "speedup"],
         engines["rows"], precision=5,
     )
+    kernel_rows, kernel_note, kernel_identical = run_kernel_comparison()
+    kernel_table = _harness.format_table(
+        ["kernel backend", "seconds/stream", "speedup"], kernel_rows,
+    )
     _harness.emit(
         "bench_world_store",
         header + table
         + "\n\nreliability_discrepancy end-to-end (one candidate):\n"
-        + engine_table,
+        + engine_table
+        + "\n\nderive hot path (re-threshold + relabel) per kernel "
+          "backend:\n"
+        + kernel_table
+        + f"\nbackends bit-identical: {kernel_identical}\n" + kernel_note,
     )
     assert result["identical"], "store and fresh-oracle queries diverged"
+    assert kernel_identical, "kernel backends diverged on derived labels"
     assert result["speedup"] >= 3.0, (
         f"expected >= 3x speedup, got {result['speedup']:.2f}x"
     )

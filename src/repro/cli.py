@@ -7,6 +7,8 @@ Subcommands
 ``check``      evaluate the (k, epsilon)-obfuscation criterion
 ``evaluate``   compare an anonymized graph against the original
 ``summary``    print Table-I style dataset characteristics
+``capabilities``  report the execution environment (kernel backend,
+               numba availability, usable CPUs, REPRO_* knobs)
 
 All subcommands speak the probabilistic edge-list format
 (``u v p`` lines) so they compose through the filesystem.
@@ -91,10 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     anon.add_argument(
         "--trial-backend", default="serial", choices=TRIAL_BACKENDS,
-        help="GenObf trial executor (serial: in-process; process: "
+        help="GenObf trial executor (serial: in-process; thread: "
+             "persistent thread pool over shared-by-reference state, "
+             "GIL-free under the compiled kernel backend; process: "
              "persistent worker pool over shared-memory base state -- "
-             "bit-identical results either way; --workers sets the pool "
-             "size)",
+             "bit-identical results in all cases; --workers sets the "
+             "pool size)",
     )
     anon.add_argument(
         "--utility-samples", type=int, default=0,
@@ -164,6 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--samples", type=int, default=300,
                        help="Monte-Carlo worlds for the utility column")
     sweep.add_argument("--seed", type=int, default=None)
+    sweep.add_argument(
+        "--trial-backend", default="serial", choices=TRIAL_BACKENDS,
+        help="GenObf trial executor, amortized across every k "
+             "(bit-identical results for serial / thread / process)",
+    )
+    sweep.add_argument(
+        "--workers", type=_worker_count, default=None,
+        help="trial-pool size for --trial-backend thread/process "
+             "(default: REPRO_NUM_WORKERS or the CPU count)",
+    )
+
+    sub.add_parser(
+        "capabilities",
+        help="report the execution environment (kernel backend, numba "
+             "availability, usable CPUs, REPRO_* knobs) as JSON",
+    )
     return parser
 
 
@@ -295,7 +315,8 @@ def _cmd_sweep(args) -> int:
         epsilon = dataset_tolerance(args.input)
     results = sweep_anonymize(
         graph, args.k, epsilon, method=args.method, seed=args.seed,
-        n_trials=args.trials,
+        n_trials=args.trials, trial_backend=args.trial_backend,
+        n_workers=args.workers,
     )
     header = f"{'k':>6} {'status':>8} {'sigma':>10} {'rel.loss':>10}"
     print(header)
@@ -314,6 +335,13 @@ def _cmd_sweep(args) -> int:
     return 1 if any_failed else 0
 
 
+def _cmd_capabilities(args) -> int:
+    from .core import execution_environment
+
+    print(json.dumps(execution_environment(), indent=2))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "anonymize": _cmd_anonymize,
@@ -323,6 +351,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "diagnose": _cmd_diagnose,
     "sweep": _cmd_sweep,
+    "capabilities": _cmd_capabilities,
 }
 
 

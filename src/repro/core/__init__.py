@@ -4,8 +4,9 @@
   the RSME / RS / ME variant presets (Table II).
 * :func:`anonymize` / :class:`Chameleon` -- Algorithm 1 (noise search).
 * :func:`gen_obf` -- Algorithm 3 (randomized obfuscation attempt).
-* :mod:`repro.core.parallel` -- deterministic serial / multi-process
-  execution of the GenObf trials over shared-memory base state.
+* :mod:`repro.core.parallel` -- deterministic serial / thread / process
+  execution of the GenObf trials (shared-memory base state for the
+  process pool, shared-by-reference invariants for the thread pool).
 * :mod:`repro.core.noise` -- truncated-normal noise and the max-entropy
   perturbation rule (Section V-F).
 * :mod:`repro.core.selection` -- uncertainty-aware edge selection.
@@ -15,7 +16,11 @@ from .calibration import calibrate_k, k_for_attack_rate
 from .chameleon import Chameleon, anonymize
 from .frontier import FrontierPoint, privacy_utility_frontier
 from .config import VARIANTS, ChameleonConfig, variant_config
-from .diagnostics import FeasibilityReport, diagnose_feasibility
+from .diagnostics import (
+    FeasibilityReport,
+    diagnose_feasibility,
+    execution_environment,
+)
 from .refine import RefinementStats, refine_anonymization
 from .sweep import sweep_anonymize
 from .genobf import SelectionContext, build_selection_context, gen_obf
@@ -30,6 +35,7 @@ from .parallel import (
     TRIAL_BACKENDS,
     ProcessTrialEngine,
     SerialTrialEngine,
+    ThreadTrialEngine,
     TrialResult,
     create_trial_engine,
 )
@@ -50,6 +56,7 @@ __all__ = [
     "TRIAL_BACKENDS",
     "TrialResult",
     "SerialTrialEngine",
+    "ThreadTrialEngine",
     "ProcessTrialEngine",
     "create_trial_engine",
     "truncated_normal_noise",
@@ -62,6 +69,7 @@ __all__ = [
     "select_candidate_edges",
     "FeasibilityReport",
     "diagnose_feasibility",
+    "execution_environment",
     "RefinementStats",
     "refine_anonymization",
     "sweep_anonymize",

@@ -68,14 +68,17 @@ class ChameleonConfig:
         ``AnonymizationResult.utility_discrepancy`` reports the accepted
         solution's score.  0 (default) skips utility verification.
     n_workers:
-        Worker count for the ``"process"`` connectivity and trial
-        backends; ``None`` defers to ``REPRO_NUM_WORKERS`` / CPU count.
+        Worker count for the ``"process"`` connectivity backend and the
+        pooled trial backends; ``None`` defers to ``REPRO_NUM_WORKERS``
+        / CPU count.
     trial_backend:
         Execution backend for the GenObf trials of the sigma search (one
         of :data:`repro.core.parallel.TRIAL_BACKENDS`).  ``"serial"``
-        (default) runs trials in-process; ``"process"`` runs them on a
-        persistent per-run worker pool over shared-memory base state.
-        Results are bit-identical either way (per-trial
+        (default) runs trials in-process; ``"thread"`` runs them on a
+        persistent thread pool sharing run state by reference (GIL-free
+        under the compiled :mod:`repro.kernels` backend); ``"process"``
+        runs them on a persistent per-run worker pool over shared-memory
+        base state.  Results are bit-identical in every case (per-trial
         ``SeedSequence`` streams keyed by probe and trial index).
     obfuscation_checker:
         ``"incremental"`` (default) runs the GenObf trial loop on a

@@ -18,19 +18,65 @@ The analysis is a necessary-condition bound for anonymizers that
 re-weight the existing edge universe; candidate-edge addition (the ``c``
 multiplier) relaxes it by raising potential degrees, which the report
 quantifies through the ``candidate_multiplier`` parameter.
+
+:func:`execution_environment` answers the complementary operational
+question -- *what will actually run*: which kernel backend is active
+(compiled numba vs pure NumPy), which kernels it covers, how many CPUs
+the process may use, and which ``REPRO_*`` knobs are set.  Benchmark
+results embed it so numbers are never read without their environment.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import kernels
 from ..exceptions import ObfuscationError
 from ..privacy.degree_distribution import expected_degree_knowledge
 from ..ugraph.graph import UncertainGraph
 
-__all__ = ["FeasibilityReport", "diagnose_feasibility"]
+__all__ = [
+    "FeasibilityReport",
+    "diagnose_feasibility",
+    "execution_environment",
+]
+
+#: Environment variables that change repro's execution behavior.
+_REPRO_ENV_VARS = ("REPRO_KERNELS", "REPRO_NUM_WORKERS")
+
+
+def execution_environment() -> dict:
+    """Capability report of the running interpreter.
+
+    Combines the kernel registry's capability view
+    (:func:`repro.kernels.kernel_capabilities`: active backend, numba
+    availability, per-kernel implementation, usable CPU count) with
+    library versions and the ``REPRO_*`` environment knobs in effect.
+    JSON-serializable by construction; surfaced by the
+    ``chameleon capabilities`` subcommand and embedded in every
+    benchmark results file.
+    """
+    try:
+        import scipy
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        scipy_version = None
+    return {
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+        "numpy": np.__version__,
+        "scipy": scipy_version,
+        "kernels": kernels.kernel_capabilities(),
+        "env": {
+            name: os.environ[name]
+            for name in _REPRO_ENV_VARS
+            if name in os.environ
+        },
+    }
 
 
 @dataclass(frozen=True)

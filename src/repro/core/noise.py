@@ -21,8 +21,8 @@ probability:
 from __future__ import annotations
 
 import numpy as np
-from scipy.stats import truncnorm
 
+from .. import kernels
 from .._rng import as_generator
 from ..exceptions import ConfigurationError
 
@@ -42,6 +42,12 @@ def truncated_normal_noise(
 
     ``sigma`` may be a scalar or a per-draw array; zero scales yield zero
     noise exactly.
+
+    Sampling is inverse-CDF through the kernel layer
+    (:func:`repro.kernels.truncated_normal_draws`: one uniform block,
+    then the shared deterministic transform), replacing the historical
+    ``scipy.stats.truncnorm.rvs`` dispatch -- same distribution, one
+    generator-consumption contract for every execution backend.
     """
     rng = as_generator(seed)
     sigma = np.asarray(sigma, dtype=np.float64)
@@ -53,11 +59,7 @@ def truncated_normal_noise(
     out = np.zeros(size, dtype=np.float64)
     positive = sigma > 0
     if positive.any():
-        scales = sigma[positive]
-        out[positive] = truncnorm.rvs(
-            a=0.0, b=1.0 / scales, loc=0.0, scale=scales,
-            size=int(positive.sum()), random_state=rng,
-        )
+        out[positive] = kernels.truncated_normal_draws(rng, sigma[positive])
     return out
 
 

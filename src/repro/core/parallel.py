@@ -14,14 +14,28 @@ too.  This module supplies the engine:
   :class:`TrialResult`: the candidate's delta arrays plus the check
   report's arrays, never a materialized graph.
 * :class:`SerialTrialEngine` -- the in-process reference executor.
+* :class:`ThreadTrialEngine` -- a persistent
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  Run invariants are
+  shared *by reference* -- no shared-memory segment, no pickling,
+  near-zero dispatch cost -- and the hot kernels (:mod:`repro.kernels`)
+  release the GIL under the compiled backend, so workers genuinely
+  overlap.  The one mutable structure, the incremental checker's pmf
+  cache, is cloned per worker thread
+  (:meth:`~repro.privacy.DegreeUncertaintyCache.clone`).
 * :class:`ProcessTrialEngine` -- a persistent per-run worker pool.  The
   run's read-only invariants (the graph's edge arrays, the
   ``SelectionContext`` arrays, the incremental checker's base pmf
   matrix) are published ONCE through a single
   :mod:`multiprocessing.shared_memory` segment; workers receive a
   ``(segment name, manifest)`` descriptor at pool initialization and
-  never a pickled copy per task.  Tasks are just
-  ``(probe_index, trial_index, sigma)`` triples.
+  never a pickled copy per task.  Tasks are
+  ``(probe_index, trial_index, sigma, overrides)`` tuples.
+
+Engines also expose :meth:`TrialEngine.set_privacy` and
+:meth:`TrialEngine.set_entropy`, letting multi-target sweeps
+(:func:`repro.core.sweep.sweep_anonymize`) amortize ONE engine -- pool,
+published segment, degree-pmf cache and all -- across every k value
+instead of rebuilding per run.
 
 Determinism contract
 --------------------
@@ -32,14 +46,15 @@ depends only on its coordinates -- not on which worker runs it, in what
 order, or how many workers exist -- and :func:`reduce_probe` folds
 results with the sequential loop's exact ``(epsilon, trial index)``
 tie-break.  ``anonymize`` output is bit-identical across
-``trial_backend in {"serial", "process"}`` and every worker count
-(asserted by ``tests/test_parallel_trials.py`` and audited by
+``trial_backend in {"serial", "thread", "process"}`` and every worker
+count (asserted by ``tests/test_parallel_trials.py`` and audited by
 ``benchmarks/bench_parallel_trials.py``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,12 +78,13 @@ __all__ = [
     "reduce_probe",
     "TrialEngine",
     "SerialTrialEngine",
+    "ThreadTrialEngine",
     "ProcessTrialEngine",
     "create_trial_engine",
 ]
 
 #: Selectable trial-execution backends for ``ChameleonConfig``.
-TRIAL_BACKENDS = ("serial", "process")
+TRIAL_BACKENDS = ("serial", "thread", "process")
 
 
 def trial_generator(
@@ -281,6 +297,30 @@ class TrialEngine:
         """Speculative ladder trials cancelled before they ran."""
         return self._trials_cancelled
 
+    def set_privacy(self, k: int, epsilon: float) -> None:
+        """Retarget the engine to a new (k, epsilon) without rebuilding.
+
+        Only the privacy target changes; the graph, context, cache and
+        any worker pool stay amortized.  Must not be called while a
+        probe is in flight.
+        """
+        self._config = self._config.with_privacy(k, epsilon)
+        self._on_mutation()
+
+    def set_entropy(self, entropy: int) -> None:
+        """Re-root the per-trial ``SeedSequence`` streams.
+
+        Sweeps draw a fresh entropy per GenObf call (mirroring
+        :func:`repro.core.genobf.gen_obf`'s historical consumption
+        order), so probe indices may repeat across calls without stream
+        collisions.  Must not be called while a probe is in flight.
+        """
+        self._entropy = int(entropy)
+        self._on_mutation()
+
+    def _on_mutation(self) -> None:
+        """Hook for backends that must propagate mutated run state."""
+
     def run_probe(self, probe_index: int, sigma: float) -> GenObfOutcome:
         raise NotImplementedError
 
@@ -328,6 +368,135 @@ class SerialTrialEngine(TrialEngine):
         ]
         self._trials_executed += len(results)
         return reduce_probe(self._graph, self._config, sigma, results)
+
+
+class _PooledTrialEngine(TrialEngine):
+    """Shared wave dispatch for executor-backed engines.
+
+    Subclasses provide :meth:`_submit_probe` (returning one future per
+    trial, in trial-index order); probe reduction and the speculative
+    ladder wave -- submit every predetermined probe up front, cancel
+    outstanding trials once one succeeds -- are identical for thread and
+    process pools.
+    """
+
+    def _submit_probe(self, probe_index: int, sigma: float) -> list:
+        raise NotImplementedError
+
+    def run_probe(self, probe_index: int, sigma: float) -> GenObfOutcome:
+        futures = self._submit_probe(probe_index, sigma)
+        results = [future.result() for future in futures]
+        self._trials_executed += len(results)
+        return reduce_probe(self._graph, self._config, sigma, results)
+
+    def run_ladder(
+        self, sigmas, first_probe_index: int = 0
+    ) -> list[GenObfOutcome]:
+        """Dispatch the whole ladder as one task wave.
+
+        Probe levels are predetermined, so every probe's trials are
+        submitted up front (probe-major order keeps the decision path
+        first in the queue); as soon as a probe succeeds, outstanding
+        speculative trials are cancelled and their results discarded --
+        the returned outcome list matches the sequential walk exactly.
+        """
+        sigmas = list(sigmas)
+        n_trials = self._config.n_trials
+        futures = []
+        for i, sigma in enumerate(sigmas):
+            futures.extend(self._submit_probe(first_probe_index + i, sigma))
+        outcomes: list[GenObfOutcome] = []
+        try:
+            for i, sigma in enumerate(sigmas):
+                results = [
+                    futures[i * n_trials + t].result()
+                    for t in range(n_trials)
+                ]
+                self._trials_executed += len(results)
+                outcomes.append(
+                    reduce_probe(self._graph, self._config, sigma, results)
+                )
+                if outcomes[-1].success:
+                    break
+        finally:
+            self._trials_cancelled += sum(
+                1 for future in futures if future.cancel()
+            )
+        return outcomes
+
+
+class ThreadTrialEngine(_PooledTrialEngine):
+    """Persistent thread pool sharing run invariants by reference.
+
+    No shared-memory segment, no pickling: worker threads read the same
+    graph / context / config objects the caller holds, so dispatch cost
+    per trial is a queue hop.  True overlap comes from the
+    :mod:`repro.kernels` layer -- its compiled kernels run
+    ``nogil`` -- while the pure-NumPy fallback still overlaps inside
+    numpy's own GIL-releasing primitives.
+
+    Thread safety: :func:`run_trial` mutates nothing shared except the
+    incremental checker's cache (row patch + rollback), so each worker
+    thread lazily clones the engine's base cache
+    (:meth:`DegreeUncertaintyCache.clone` -- matrix copied, read-only
+    structure shared).  The graph's lazily built caches are pre-warmed
+    once here, making every subsequent access read-only.
+    """
+
+    backend = "thread"
+
+    def __init__(
+        self, graph, config, context, cache=None, entropy=0,
+        n_workers: int | None = None,
+    ):
+        super().__init__(graph, config, context, cache=cache, entropy=entropy)
+        self._n_workers = resolve_worker_count(
+            n_workers if n_workers is not None else config.n_workers
+        )
+        # Pre-warm the graph's lazy caches (pair-key index, adjacency) on
+        # the calling thread; worker threads then only ever read them.
+        graph._pair_key_index()
+        graph.adjacency
+        self._local = threading.local()
+        self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=self._n_workers, thread_name_prefix="repro-trial"
+        )
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def _worker_cache(self) -> DegreeUncertaintyCache | None:
+        """This thread's private cache clone (lazily created)."""
+        if self._cache is None:
+            return None
+        cache = getattr(self._local, "cache", None)
+        if cache is None:
+            cache = self._cache.clone()
+            self._local.cache = cache
+        return cache
+
+    def _run_one(self, probe_index, trial_index, sigma, config, entropy):
+        return run_trial(
+            self._graph, config, self._context, sigma,
+            probe_index, trial_index, entropy, self._worker_cache(),
+        )
+
+    def _submit_probe(self, probe_index: int, sigma: float) -> list:
+        # Bind config/entropy at submission time so a later set_privacy /
+        # set_entropy cannot retroactively change queued trials.
+        config, entropy = self._config, self._entropy
+        return [
+            self._pool.submit(
+                self._run_one, probe_index, t, sigma, config, entropy
+            )
+            for t in range(config.n_trials)
+        ]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
 
 # --------------------------------------------------------------------- #
@@ -443,20 +612,36 @@ def _init_trial_worker(
         "context": context,
         "cache": cache,
         "entropy": int(entropy),
+        "configs": {},
     }
 
 
 def _trial_task(payload) -> TrialResult:
-    """Module-level (picklable) task: one trial against the worker state."""
-    probe_index, trial_index, sigma = payload
+    """Module-level (picklable) task: one trial against the worker state.
+
+    ``overrides`` is ``None`` on the single-run path (the worker-state
+    defaults apply) or an ``(entropy, k, epsilon)`` tuple when a sweep
+    retargeted the engine after pool start-up; retargeted configs are
+    memoized per worker so each (k, epsilon) pays ``with_privacy``'s
+    validation once.
+    """
+    probe_index, trial_index, sigma, overrides = payload
     state = _WORKER_STATE
+    config = state["config"]
+    entropy = state["entropy"]
+    if overrides is not None:
+        entropy, k, epsilon = overrides
+        config = state["configs"].get((k, epsilon))
+        if config is None:
+            config = state["config"].with_privacy(k, epsilon)
+            state["configs"][(k, epsilon)] = config
     return run_trial(
-        state["graph"], state["config"], state["context"], sigma,
-        probe_index, trial_index, state["entropy"], state["cache"],
+        state["graph"], config, state["context"], sigma,
+        probe_index, trial_index, entropy, state["cache"],
     )
 
 
-class ProcessTrialEngine(TrialEngine):
+class ProcessTrialEngine(_PooledTrialEngine):
     """Persistent per-run worker pool over shared-memory base state.
 
     The pool and the published segment live for the whole anonymization
@@ -489,6 +674,10 @@ class ProcessTrialEngine(TrialEngine):
         if has_matrix:
             arrays["base_pmf"] = self._cache.base_matrix
         self._shm, manifest = _pack_arrays(arrays)
+        # None until set_privacy/set_entropy retargets the run; then the
+        # (entropy, k, epsilon) triple rides along in every task payload,
+        # overriding the worker-state defaults baked in at pool start-up.
+        self._overrides: tuple[int, int, float] | None = None
         self._pool: ProcessPoolExecutor | None = None
         try:
             self._pool = ProcessPoolExecutor(
@@ -505,52 +694,16 @@ class ProcessTrialEngine(TrialEngine):
     def n_workers(self) -> int:
         return self._n_workers
 
+    def _on_mutation(self) -> None:
+        self._overrides = (self._entropy, self._config.k,
+                           self._config.epsilon)
+
     def _submit_probe(self, probe_index: int, sigma: float):
+        overrides = self._overrides
         return [
-            self._pool.submit(_trial_task, (probe_index, t, sigma))
+            self._pool.submit(_trial_task, (probe_index, t, sigma, overrides))
             for t in range(self._config.n_trials)
         ]
-
-    def run_probe(self, probe_index: int, sigma: float) -> GenObfOutcome:
-        futures = self._submit_probe(probe_index, sigma)
-        results = [future.result() for future in futures]
-        self._trials_executed += len(results)
-        return reduce_probe(self._graph, self._config, sigma, results)
-
-    def run_ladder(
-        self, sigmas, first_probe_index: int = 0
-    ) -> list[GenObfOutcome]:
-        """Dispatch the whole ladder as one task wave.
-
-        Probe levels are predetermined, so every probe's trials are
-        submitted up front (probe-major order keeps the decision path
-        first in the queue); as soon as a probe succeeds, outstanding
-        speculative trials are cancelled and their results discarded --
-        the returned outcome list matches the sequential walk exactly.
-        """
-        sigmas = list(sigmas)
-        n_trials = self._config.n_trials
-        futures = []
-        for i, sigma in enumerate(sigmas):
-            futures.extend(self._submit_probe(first_probe_index + i, sigma))
-        outcomes: list[GenObfOutcome] = []
-        try:
-            for i, sigma in enumerate(sigmas):
-                results = [
-                    futures[i * n_trials + t].result()
-                    for t in range(n_trials)
-                ]
-                self._trials_executed += len(results)
-                outcomes.append(
-                    reduce_probe(self._graph, self._config, sigma, results)
-                )
-                if outcomes[-1].success:
-                    break
-        finally:
-            self._trials_cancelled += sum(
-                1 for future in futures if future.cancel()
-            )
-        return outcomes
 
     def close(self) -> None:
         if self._pool is not None:
@@ -584,6 +737,11 @@ def create_trial_engine(
         )
     if backend == "process":
         return ProcessTrialEngine(
+            graph, config, context, cache=cache, entropy=entropy,
+            n_workers=n_workers,
+        )
+    if backend == "thread":
+        return ThreadTrialEngine(
             graph, config, context, cache=cache, entropy=entropy,
             n_workers=n_workers,
         )

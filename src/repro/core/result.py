@@ -65,8 +65,9 @@ class AnonymizationResult:
     elapsed_seconds:
         Wall-clock time of the run.
     trial_backend:
-        Trial-execution backend of the sigma search (``"serial"`` or
-        ``"process"``; see :data:`repro.core.parallel.TRIAL_BACKENDS`).
+        Trial-execution backend of the sigma search (``"serial"``,
+        ``"thread"`` or ``"process"``; see
+        :data:`repro.core.parallel.TRIAL_BACKENDS`).
     trial_workers:
         Worker count the trial engine ran with (1 for serial).
     search_seconds:

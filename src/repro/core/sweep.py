@@ -8,7 +8,16 @@ recomputes them per run wastes most of its time.
 
 :func:`sweep_anonymize` computes the selection context once per
 (graph, variant) and reuses it across every k, delegating the sigma
-search to the same code path as :class:`repro.core.Chameleon`.
+search to the same code path as :class:`repro.core.Chameleon`.  One
+trial engine (:func:`repro.core.parallel.create_trial_engine`) is
+likewise amortized across every k: the engine's pool, published
+shared-memory segment (process backend) and degree-pmf cache are built
+once, and :meth:`~repro.core.parallel.TrialEngine.set_privacy` /
+:meth:`~repro.core.parallel.TrialEngine.set_entropy` retarget it per run
+without a rebuild.  Per GenObf call the sweep draws one entropy value
+from the sweep generator -- the exact consumption order of the historical
+per-call :func:`repro.core.genobf.gen_obf` path -- so results are
+bit-identical to the unamortized sweep, on every backend.
 """
 
 from __future__ import annotations
@@ -22,21 +31,29 @@ from ..ugraph.graph import UncertainGraph
 from ..ugraph.validation import validate_graph, validate_privacy_parameters
 from .chameleon import _SIGMA_FLOOR
 from .config import variant_config
-from .genobf import build_selection_context, gen_obf
+from .genobf import build_selection_context
+from .parallel import create_trial_engine
 from .result import AnonymizationResult
 
 __all__ = ["sweep_anonymize"]
 
 
-def _search_sigma(graph, config, context, rng):
-    """Bracketing + bisection identical to Chameleon.anonymize."""
+def _search_sigma(engine, config, rng):
+    """Bracketing + bisection identical to Chameleon.anonymize.
+
+    ``engine`` must already be retargeted to ``config``'s (k, epsilon);
+    each probe re-roots the trial streams with a fresh entropy draw
+    (mirroring one ``gen_obf`` call) and reuses probe index 0, exactly
+    as the historical per-call path did.
+    """
     history: list[tuple[float, float]] = []
     calls = 0
 
     def run(sigma):
         nonlocal calls
         calls += 1
-        outcome = gen_obf(graph, config, sigma, context, seed=rng)
+        engine.set_entropy(int(rng.integers(0, 2**63 - 1)))
+        outcome = engine.run_probe(0, sigma)
         history.append((outcome.sigma, outcome.epsilon_achieved))
         return outcome
 
@@ -101,6 +118,10 @@ def sweep_anonymize(
     Returns ``{k: AnonymizationResult}`` in the order given.  Uniqueness
     and reliability relevance are computed once; note the exclusion set
     depends only on ``epsilon``, so sharing is exact (not approximate).
+    The trial engine named by ``trial_backend`` (serial / thread /
+    process, via ``config_overrides``) is also built once and retargeted
+    per k, so a process pool's start-up and shared-memory publication
+    are paid once per sweep rather than once per run.
     """
     ks = [int(k) for k in k_values]
     if not ks:
@@ -116,25 +137,30 @@ def sweep_anonymize(
     context = build_selection_context(graph, base_config, knowledge, seed=rng)
 
     results: dict[int, AnonymizationResult] = {}
-    for k in ks:
-        config = base_config.with_privacy(k, epsilon)
-        started = time.perf_counter()
-        best, sigma_high, history, calls = _search_sigma(
-            graph, config, context, rng
-        )
-        elapsed = time.perf_counter() - started
-        if best is None:
-            results[k] = AnonymizationResult(
-                graph=None, method=config.name, k=k, epsilon=epsilon,
-                sigma=float(sigma_high), epsilon_achieved=1.0, report=None,
-                n_genobf_calls=calls, sigma_history=tuple(history),
-                elapsed_seconds=elapsed,
+    engine = create_trial_engine(graph, base_config, context)
+    try:
+        for k in ks:
+            config = base_config.with_privacy(k, epsilon)
+            engine.set_privacy(k, epsilon)
+            started = time.perf_counter()
+            best, sigma_high, history, calls = _search_sigma(
+                engine, config, rng
             )
-        else:
-            results[k] = AnonymizationResult(
-                graph=best.graph, method=config.name, k=k, epsilon=epsilon,
-                sigma=best.sigma, epsilon_achieved=best.epsilon_achieved,
-                report=best.report, n_genobf_calls=calls,
-                sigma_history=tuple(history), elapsed_seconds=elapsed,
-            )
+            elapsed = time.perf_counter() - started
+            if best is None:
+                results[k] = AnonymizationResult(
+                    graph=None, method=config.name, k=k, epsilon=epsilon,
+                    sigma=float(sigma_high), epsilon_achieved=1.0, report=None,
+                    n_genobf_calls=calls, sigma_history=tuple(history),
+                    elapsed_seconds=elapsed,
+                )
+            else:
+                results[k] = AnonymizationResult(
+                    graph=best.graph, method=config.name, k=k, epsilon=epsilon,
+                    sigma=best.sigma, epsilon_achieved=best.epsilon_achieved,
+                    report=best.report, n_genobf_calls=calls,
+                    sigma_history=tuple(history), elapsed_seconds=elapsed,
+                )
+    finally:
+        engine.close()
     return results

@@ -1,0 +1,185 @@
+"""Compiled-kernel registry with bit-compatible pure-NumPy fallbacks.
+
+The GenObf hot loops funnel through three scalar-heavy kernels -- the
+Poisson-binomial degree-pmf DP, dirty-world mask re-threshold +
+union-find relabeling, and truncated-normal noise sampling.  This
+package hosts them behind one registry:
+
+* the **numba** backend (``repro.kernels._numba``) compiles them with
+  ``@njit(nogil=True, cache=True)`` -- GIL-free, so the thread-backed
+  trial engine's workers genuinely overlap;
+* the **numpy** backend (``repro.kernels._numpy``) is the
+  always-available fallback, **bit-compatible** with the compiled path
+  (asserted by ``tests/test_kernels.py``): switching backends never
+  changes a single output bit anywhere in the library.
+
+Selection happens at import: numba when importable, numpy otherwise,
+overridable with ``REPRO_KERNELS=numba|numpy`` (requesting numba
+without the dependency installed raises -- an explicit ask is never
+silently downgraded).  :func:`use` switches at runtime for benchmarks
+and tests; :func:`kernel_capabilities` reports what is active (surfaced
+by ``repro.core.diagnostics.execution_environment`` and the
+``chameleon capabilities`` CLI).
+
+Logic whose float ordering must not drift between backends --
+tail-mass folding, the truncated-normal inverse-CDF transform and its
+draw ordering -- lives once in :mod:`repro.kernels._shared` and is
+shared by both implementations.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..exceptions import ConfigurationError
+from ._shared import fold_pmf_tail, truncated_normal_draws
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNELS_ENV",
+    "use",
+    "active_backend",
+    "numba_available",
+    "kernel_capabilities",
+    "usable_cpu_count",
+    "poisson_binomial_pmf",
+    "rethreshold_masks",
+    "masked_component_labels",
+    "truncnorm_transform",
+    "fold_pmf_tail",
+    "truncated_normal_draws",
+]
+
+#: Selectable kernel backends, preferred first.
+KERNEL_BACKENDS = ("numba", "numpy")
+
+#: Environment variable overriding the import-time backend choice.
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: Registered kernel names (the registry's dispatch table keys).
+KERNEL_NAMES = (
+    "poisson_binomial_pmf",
+    "rethreshold_masks",
+    "masked_component_labels",
+    "truncnorm_transform",
+)
+
+from . import _numpy  # noqa: E402  (fallback is always importable)
+
+try:
+    from . import _numba
+    _NUMBA_IMPORT_ERROR: Exception | None = None
+except ImportError as exc:  # numba not installed -- fallback only
+    _numba = None
+    _NUMBA_IMPORT_ERROR = exc
+
+_IMPLEMENTATIONS = {"numpy": _numpy}
+if _numba is not None:
+    _IMPLEMENTATIONS["numba"] = _numba
+
+#: Active dispatch table, mutated only by :func:`use`.
+_ACTIVE: dict[str, object] = {}
+_BACKEND = ""
+
+
+def numba_available() -> bool:
+    """True when the compiled backend's dependency imported cleanly."""
+    return _numba is not None
+
+
+def use(backend: str) -> str:
+    """Activate a kernel backend; returns the previously active one.
+
+    Benchmarks use this to time both implementations in one process;
+    tests use it to pin the fallback.  Requesting ``"numba"`` without
+    numba installed raises :class:`ConfigurationError`.
+    """
+    global _BACKEND
+    if backend not in KERNEL_BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {backend!r}; expected one of "
+            f"{KERNEL_BACKENDS}"
+        )
+    module = _IMPLEMENTATIONS.get(backend)
+    if module is None:
+        raise ConfigurationError(
+            f"kernel backend {backend!r} is unavailable: numba failed to "
+            f"import ({_NUMBA_IMPORT_ERROR}); install the 'fast' extra "
+            "(pip install repro[fast]) or use REPRO_KERNELS=numpy"
+        )
+    previous = _BACKEND
+    for name in KERNEL_NAMES:
+        _ACTIVE[name] = getattr(module, name)
+    _BACKEND = backend
+    return previous
+
+
+def active_backend() -> str:
+    """Name of the backend currently serving the registry."""
+    return _BACKEND
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def kernel_capabilities() -> dict:
+    """Machine-readable report of the kernel execution environment.
+
+    Records which backend is active, whether (and which) numba is
+    present, the per-kernel implementation actually dispatched (the
+    truncated-normal transform is shared -- reported as ``"shared"`` --
+    regardless of backend), and the usable CPU count.
+    """
+    kernels = {}
+    for name in KERNEL_NAMES:
+        if name == "truncnorm_transform":
+            kernels[name] = "shared"
+        else:
+            kernels[name] = _BACKEND
+    numba_version = None
+    if _numba is not None:
+        import numba
+        numba_version = numba.__version__
+    return {
+        "backend": _BACKEND,
+        "numba_available": numba_available(),
+        "numba_version": numba_version,
+        "kernels": kernels,
+        "usable_cpus": usable_cpu_count(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _initial_backend() -> str:
+    requested = os.environ.get(KERNELS_ENV, "").strip().lower()
+    if requested:
+        return requested  # use() validates and raises on a bad request
+    return "numba" if numba_available() else "numpy"
+
+
+use(_initial_backend())
+
+
+def poisson_binomial_pmf(p):
+    """Dispatch: exact Poisson-binomial pmf (no validation -- hot path)."""
+    return _ACTIVE["poisson_binomial_pmf"](p)
+
+
+def rethreshold_masks(uniforms, base_masks, cols, new_p):
+    """Dispatch: changed-column realizations + dirty-world indices."""
+    return _ACTIVE["rethreshold_masks"](uniforms, base_masks, cols, new_p)
+
+
+def masked_component_labels(n_nodes, src, dst, masks):
+    """Dispatch: canonical per-world component labels for a mask batch."""
+    return _ACTIVE["masked_component_labels"](n_nodes, src, dst, masks)
+
+
+def truncnorm_transform(u, sigma):
+    """Dispatch: inverse-CDF truncated-normal transform (shared impl)."""
+    return _ACTIVE["truncnorm_transform"](u, sigma)

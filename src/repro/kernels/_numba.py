@@ -1,0 +1,117 @@
+"""Numba-compiled kernel implementations (``@njit(nogil=True)``).
+
+Importing this module requires numba; the registry import-gates it and
+falls back to :mod:`repro.kernels._numpy` when the dependency is absent
+(install with ``pip install repro[fast]``).
+
+Every kernel releases the GIL (``nogil=True``) so the thread-backed
+trial engine's workers overlap in the compiled regions, and caches its
+machine code on disk (``cache=True``) so repeat processes skip JIT
+compilation.
+
+Bit-compatibility notes (asserted by ``tests/test_kernels.py``):
+
+* ``poisson_binomial_pmf`` runs the DP in place, newest bucket first.
+  Each step computes ``pmf[j] * q + pmf[j - 1] * p`` -- the same
+  two-product, one-add expression ``np.convolve`` evaluates with a
+  two-tap kernel, and two-term IEEE addition is order-independent, so
+  the result equals the fallback bitwise.
+* ``masked_component_labels`` is integer-only (union-find plus
+  first-appearance renumbering, the canonical labeling contract), so
+  equality with the scipy-backed fallback is exact by construction.
+* ``rethreshold_masks`` is pure comparisons.
+* The truncated-normal transform is NOT reimplemented here: its
+  transcendentals (``ndtr``/``ndtri``) cannot be made bit-identical
+  across libm builds, so both backends register the single shared
+  implementation from :mod:`repro.kernels._shared` (see satellite note
+  there) -- the ufuncs are already C-speed, the win was never in
+  compiling them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from ._shared import truncnorm_transform
+
+__all__ = [
+    "poisson_binomial_pmf",
+    "rethreshold_masks",
+    "masked_component_labels",
+    "truncnorm_transform",
+]
+
+
+@njit(nogil=True, cache=True)
+def poisson_binomial_pmf(p):
+    d = p.shape[0]
+    pmf = np.zeros(d + 1, dtype=np.float64)
+    pmf[0] = 1.0
+    for i in range(d):
+        pi = p[i]
+        q = 1.0 - pi
+        for j in range(i + 1, 0, -1):
+            pmf[j] = pmf[j] * q + pmf[j - 1] * pi
+        pmf[0] = pmf[0] * q
+    return pmf
+
+
+@njit(nogil=True, cache=True)
+def _rethreshold(uniforms, base_masks, cols, new_p):
+    n_samples = uniforms.shape[0]
+    k = cols.shape[0]
+    new_cols = np.empty((n_samples, k), dtype=np.bool_)
+    dirty_row = np.zeros(n_samples, dtype=np.bool_)
+    for i in range(n_samples):
+        for j in range(k):
+            realized = uniforms[i, cols[j]] < new_p[j]
+            new_cols[i, j] = realized
+            if realized != base_masks[i, cols[j]]:
+                dirty_row[i] = True
+    return new_cols, dirty_row
+
+
+def rethreshold_masks(uniforms, base_masks, cols, new_p):
+    new_cols, dirty_row = _rethreshold(uniforms, base_masks, cols, new_p)
+    return new_cols, np.flatnonzero(dirty_row)
+
+
+@njit(nogil=True, cache=True)
+def _find(parent, x):
+    while parent[x] != x:
+        parent[x] = parent[parent[x]]
+        x = parent[x]
+    return x
+
+
+@njit(nogil=True, cache=True)
+def masked_component_labels(n_nodes, src, dst, masks):
+    n_samples = masks.shape[0]
+    n_edges = src.shape[0]
+    out = np.empty((n_samples, n_nodes), dtype=np.int32)
+    parent = np.empty(n_nodes, dtype=np.int64)
+    size = np.empty(n_nodes, dtype=np.int64)
+    label_of = np.empty(n_nodes, dtype=np.int32)
+    for i in range(n_samples):
+        for v in range(n_nodes):
+            parent[v] = v
+            size[v] = 1
+            label_of[v] = -1
+        for e in range(n_edges):
+            if masks[i, e]:
+                ra = _find(parent, src[e])
+                rb = _find(parent, dst[e])
+                if ra != rb:
+                    if size[ra] < size[rb]:
+                        ra, rb = rb, ra
+                    parent[rb] = ra
+                    size[ra] += size[rb]
+        next_label = np.int32(0)
+        for v in range(n_nodes):
+            root = _find(parent, v)
+            if label_of[root] < 0:
+                label_of[root] = next_label
+                next_label += np.int32(1)
+            out[i, v] = label_of[root]
+    return out

@@ -1,0 +1,77 @@
+"""Single-source-of-truth helpers shared by BOTH kernel backends.
+
+Anything whose float operation order could drift between the compiled
+and the fallback path -- and whose drift would break the registry's
+bit-compatibility contract -- lives here exactly once:
+
+* :func:`fold_pmf_tail` -- the tail-mass folding rule of
+  ``degree_uncertainty_matrix``.  ``np.sum`` over the tail uses pairwise
+  summation whose grouping depends on slice length; a hand-rolled
+  sequential loop inside a compiled kernel would sum in a different
+  order and diverge in the last ulp.  Folding therefore happens *after*
+  the (backend-specific) DP, through this one function.
+* :func:`truncnorm_transform` / :func:`truncated_normal_draws` -- the
+  inverse-CDF sampling of the truncated normal ``R_sigma``.  The
+  transform leans on :mod:`scipy.special`'s ``ndtr``/``ndtri`` ufuncs
+  (transcendentals differ between libm builds and SIMD paths, so a
+  second compiled implementation could not be bit-compatible), and the
+  draw helper fixes the generator consumption order -- one uniform
+  block, then the transform -- for every backend.  Both backends
+  register these same callables, so "numba" and "numpy" agree bitwise
+  by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtr, ndtri
+
+__all__ = ["fold_pmf_tail", "truncnorm_transform", "truncated_normal_draws"]
+
+
+def fold_pmf_tail(pmf: np.ndarray, width: int) -> np.ndarray:
+    """Fit a degree pmf into ``width`` buckets, folding excess tail mass.
+
+    Rows wider than ``width`` put ``Pr[deg >= width - 1]`` -- summed with
+    ``np.sum``'s pairwise order, the reference the property tests pin --
+    into the last bucket; narrower rows are zero-padded.  The result
+    always sums to the pmf's total mass.
+    """
+    pmf = np.asarray(pmf, dtype=np.float64)
+    out = np.zeros(width, dtype=np.float64)
+    if pmf.shape[0] > width:
+        out[: width - 1] = pmf[: width - 1]
+        out[width - 1] = pmf[width - 1:].sum()
+    else:
+        out[: pmf.shape[0]] = pmf
+    return out
+
+
+def truncnorm_transform(u: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+    """Inverse-CDF map from uniforms to ``R_sigma`` draws.
+
+    ``R_sigma`` has density proportional to ``N(0, sigma^2)`` restricted
+    to ``[0, 1]``; its CDF is ``(Phi(x / sigma) - 1/2) /
+    (Phi(1 / sigma) - 1/2)``, so ``x = sigma * Phi^-1(1/2 + u *
+    (Phi(1 / sigma) - 1/2))``.  All entries of ``sigma`` must be
+    positive (callers handle the exact-zero-noise case).  The final clip
+    only matters for the measure-zero rounding case ``u -> 1`` where
+    ``ndtri`` saturates to ``inf``.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    sigma = np.asarray(sigma, dtype=np.float64)
+    span = ndtr(1.0 / sigma) - 0.5
+    return np.clip(sigma * ndtri(0.5 + u * span), 0.0, 1.0)
+
+
+def truncated_normal_draws(
+    rng: np.random.Generator, sigma: np.ndarray
+) -> np.ndarray:
+    """Draw one ``R_sigma`` sample per (positive) scale in ``sigma``.
+
+    Fixes the generator contract once for every backend: a single
+    ``rng.random(n)`` block, then the deterministic transform -- so any
+    path that needs these draws consumes the stream identically.
+    """
+    sigma = np.asarray(sigma, dtype=np.float64)
+    return truncnorm_transform(rng.random(sigma.shape[0]), sigma)

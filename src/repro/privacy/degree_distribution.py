@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..ugraph.graph import UncertainGraph
 from .entropy import shannon_entropy
 
@@ -35,16 +36,17 @@ def poisson_binomial_pmf(probabilities: np.ndarray) -> np.ndarray:
 
     Returns an array of length ``len(probabilities) + 1``; entry ``d`` is
     ``Pr[sum == d]``.  An empty input yields the point mass at 0.
+
+    The DP itself runs on the active :mod:`repro.kernels` backend
+    (compiled when numba is installed); validation stays here so both
+    backends execute the same unguarded hot loop.
     """
     p = np.asarray(probabilities, dtype=np.float64)
     if p.ndim != 1:
         raise ValueError(f"probabilities must be 1-D, got shape {p.shape}")
     if p.size and (p.min() < 0.0 or p.max() > 1.0):
         raise ValueError("probabilities must lie in [0, 1]")
-    pmf = np.ones(1, dtype=np.float64)
-    for pi in p:
-        pmf = np.convolve(pmf, (1.0 - pi, pi))
-    return pmf
+    return kernels.poisson_binomial_pmf(p)
 
 
 def poisson_binomial_moments(probabilities: np.ndarray) -> tuple[float, float]:
@@ -83,7 +85,9 @@ def degree_uncertainty_matrix(
     support exceeds an explicit ``max_degree`` fold the tail mass
     ``Pr[deg(u) >= max_degree]`` into the last bucket, so every row stays
     a distribution (sums to 1) no matter how tight the cap -- callers cap
-    the matrix *width*, never the probability mass.
+    the matrix *width*, never the probability mass.  Folding goes through
+    the backend-shared :func:`repro.kernels.fold_pmf_tail`, the single
+    source of truth for the tail summation order.
     """
     incident = incident_probability_lists(graph)
     widest = max((len(b) for b in incident), default=0)
@@ -92,8 +96,7 @@ def degree_uncertainty_matrix(
     for u, probabilities in enumerate(incident):
         pmf = poisson_binomial_pmf(probabilities)
         if pmf.shape[0] > width:
-            matrix[u, : width - 1] = pmf[: width - 1]
-            matrix[u, width - 1] = pmf[width - 1 :].sum()
+            matrix[u] = kernels.fold_pmf_tail(pmf, width)
         else:
             matrix[u, : pmf.shape[0]] = pmf
     return matrix

@@ -153,6 +153,24 @@ class DegreeUncertaintyCache:
         self._matrix = matrix
         return self
 
+    def clone(self) -> "DegreeUncertaintyCache":
+        """An independent cache answering identical checks.
+
+        :meth:`check_delta` patches matrix rows in place (and rolls them
+        back), so one cache instance must never serve two concurrent
+        callers.  The thread-backed trial engine gives each worker thread
+        its own clone: the pmf matrix is copied (the only mutable state),
+        while the graph, knowledge and incident-id structure -- all
+        read-only -- are shared by reference.
+        """
+        clone = type(self).__new__(type(self))
+        clone._graph = self._graph
+        clone._n = self._n
+        clone._knowledge = self._knowledge
+        clone._incident_ids = self._incident_ids
+        clone._matrix = self._matrix.copy()
+        return clone
+
     @property
     def graph(self) -> UncertainGraph:
         return self._graph

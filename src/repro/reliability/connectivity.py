@@ -6,12 +6,14 @@ connected-component labeling and the number of connected vertex pairs.
 They are the inner loop of every reliability estimator, so five backends
 are provided behind one ``backend=`` parameter:
 
-* ``batched-scipy``: stacks all ``N`` worlds into ONE block-diagonal
-  sparse adjacency (node ids offset by ``world_index * n_nodes``) and
-  labels every world with a single compiled ``connected_components``
-  call.  Eliminates the per-world Python loop entirely; the fastest
-  single-process choice at Monte-Carlo scales (``N`` in the hundreds or
-  thousands).
+* ``batched-scipy``: the in-process batch engine.  Dispatches through
+  the :mod:`repro.kernels` registry: with the compiled backend active a
+  ``nogil`` union-find kernel labels every world directly; the fallback
+  stacks all ``N`` worlds into ONE block-diagonal sparse adjacency
+  (node ids offset by ``world_index * n_nodes``) and labels every world
+  with a single compiled ``connected_components`` call.  Both produce
+  the registry's canonical labeling (per-row consecutive ids in
+  first-appearance order), so the choice is invisible bit for bit.
 * ``process``: chunks the world matrix across a lazily created,
   *persistent* :class:`~concurrent.futures.ProcessPoolExecutor` whose
   worker count comes from an explicit ``n_workers`` argument, the
@@ -50,6 +52,7 @@ import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
 from scipy.sparse.csgraph import connected_components as _scipy_cc
 
+from .. import kernels
 from ..exceptions import ConfigurationError
 from ..ugraph.graph import UncertainGraph
 from .union_find import component_labels as _uf_labels
@@ -313,7 +316,7 @@ def _labels_shm_worker(payload) -> np.ndarray:
         del view
     finally:
         shm.close()
-    return _batched_labels_chunked(n_nodes, src, dst, chunk)
+    return kernels.masked_component_labels(n_nodes, src, dst, chunk)
 
 
 def _process_labels(
@@ -332,7 +335,7 @@ def _process_labels(
     n_samples = masks.shape[0]
     n_workers = min(n_workers, max(1, n_samples))
     if n_workers <= 1:
-        return _batched_labels_chunked(n_nodes, src, dst, masks)
+        return kernels.masked_component_labels(n_nodes, src, dst, masks)
     masks = np.ascontiguousarray(masks)
     shm = _create_shared_masks(masks)
     try:
@@ -380,7 +383,10 @@ def component_labels_for_edges(
         masks = masks.astype(bool)
     backend = resolve_backend(backend, masks.shape[0] * max(1, masks.shape[1]))
     if backend == "batched-scipy":
-        return _batched_labels_chunked(n_nodes, src, dst, masks)
+        # In-process batch engine; the kernel registry picks the actual
+        # implementation (compiled union-find vs block-diagonal scipy --
+        # bit-identical canonical labels either way).
+        return kernels.masked_component_labels(n_nodes, src, dst, masks)
     if backend == "process":
         return _process_labels(
             n_nodes, src, dst, masks, resolve_worker_count(n_workers)

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["UnionFind", "component_labels", "connected_pair_count"]
+__all__ = [
+    "UnionFind",
+    "component_labels",
+    "canonical_component_labels",
+    "connected_pair_count",
+]
 
 
 class UnionFind:
@@ -79,6 +84,30 @@ def component_labels(n_nodes: int, src: np.ndarray, dst: np.ndarray) -> np.ndarr
     for u, v in zip(src.tolist(), dst.tolist()):
         uf.union(u, v)
     return uf.labels()
+
+
+def canonical_component_labels(
+    n_nodes: int, src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Canonical component labels: consecutive ids in first-appearance order.
+
+    Scanning vertices ``0 .. n-1``, a component receives the next
+    consecutive id the first time one of its vertices appears.  This is
+    the labeling contract of :func:`repro.kernels.masked_component_labels`
+    (and of the block-diagonal scipy batch path after per-row
+    renumbering); this dependency-free implementation is the oracle the
+    kernel property tests compare against bit for bit.
+    """
+    raw = component_labels(n_nodes, src, dst)
+    out = np.empty(n_nodes, dtype=np.int32)
+    seen: dict[int, int] = {}
+    for v, root in enumerate(raw.tolist()):
+        label = seen.get(root)
+        if label is None:
+            label = len(seen)
+            seen[root] = label
+        out[v] = label
+    return out
 
 
 def connected_pair_count(labels: np.ndarray) -> int:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from .._rng import as_generator
 from ..exceptions import EstimationError
 from ..ugraph.graph import UncertainGraph
@@ -469,7 +470,11 @@ class WorldStore:
         col_arr = np.asarray(cols, dtype=np.int64)
         p_arr = np.asarray(new_ps, dtype=np.float64)
         if self._has_uniforms:
-            new_cols = self.uniforms[:, col_arr] < p_arr
+            # One fused kernel pass: re-threshold the changed columns and
+            # find the worlds where any of them flipped.
+            new_cols, dirty = kernels.rethreshold_masks(
+                self.uniforms, self.base_masks, col_arr, p_arr
+            )
         else:
             nontrivial = (p_arr != 0.0) & (p_arr != 1.0)
             if np.any(nontrivial):
@@ -480,9 +485,8 @@ class WorldStore:
             new_cols = np.broadcast_to(
                 p_arr == 1.0, (self._n_samples, col_arr.size)
             ).copy()
-
-        flipped = new_cols != self.base_masks[:, col_arr]
-        dirty = np.flatnonzero(flipped.any(axis=1))
+            flipped = new_cols != self.base_masks[:, col_arr]
+            dirty = np.flatnonzero(flipped.any(axis=1))
         dirty_labels: np.ndarray | None = None
         if dirty.size:
             dirty_masks = self.base_masks[dirty]

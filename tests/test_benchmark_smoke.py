@@ -78,15 +78,16 @@ def test_world_store_engine_smoke():
 
 @pytest.mark.benchmark_smoke
 def test_parallel_trials_comparison_smoke():
-    """Serial and process trial engines at tiny scale; the audit asserts
-    bit-equality only -- speedup is a host property, never a test."""
+    """Serial, thread and process trial engines at tiny scale; the audit
+    asserts bit-equality only -- speedup is a host property, never a
+    test."""
     result = bench_pt.run_trial_backend_comparison(
         scale=0.25, n_trials=2, worker_counts=(2,),
         relevance_samples=40, sigma_tolerance=0.2,
     )
-    assert result["identical"], "process backend diverged from serial"
+    assert result["identical"], "pooled backends diverged from serial"
     backends = [(row[0], row[1]) for row in result["rows"]]
-    assert backends == [("serial", 1), ("process", 2)]
+    assert backends == [("serial", 1), ("thread", 2), ("process", 2)]
     assert all(row[2] >= 0.0 and row[3] >= 0.0 for row in result["rows"])
     assert all(row[6] for row in result["rows"])
     assert result["host_cpus"] >= 1

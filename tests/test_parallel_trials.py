@@ -28,6 +28,7 @@ from repro.core import parallel
 from repro.core.parallel import (
     ProcessTrialEngine,
     SerialTrialEngine,
+    ThreadTrialEngine,
     TRIAL_BACKENDS,
     _graph_from_arrays,
     _init_trial_worker,
@@ -155,7 +156,7 @@ class TestWorkerPathEqualsParentPath:
             _init_trial_worker(
                 shm.name, manifest, graph.n_nodes, config, entropy, True
             )
-            worker_result = _trial_task((3, 1, 0.5))
+            worker_result = _trial_task((3, 1, 0.5, None))
         finally:
             shm.close()
             shm.unlink()
@@ -243,16 +244,17 @@ class TestCrossBackendBitIdentity:
             utility_samples=16, **FAST,
         )
 
+    @pytest.mark.parametrize("backend", ["thread", "process"])
     @pytest.mark.parametrize("n_workers", [1, 2, 4])
-    def test_process_equals_serial(
-        self, small_profile_graph, serial_result, n_workers
+    def test_pooled_equals_serial(
+        self, small_profile_graph, serial_result, backend, n_workers
     ):
         got = anonymize(
             small_profile_graph, method="rsme", seed=7,
-            utility_samples=16, trial_backend="process",
+            utility_samples=16, trial_backend=backend,
             n_workers=n_workers, **FAST,
         )
-        assert got.trial_backend == "process"
+        assert got.trial_backend == backend
         assert got.trial_workers == n_workers
         assert serial_result.trial_backend == "serial"
         assert got.sigma == serial_result.sigma
@@ -268,7 +270,11 @@ class TestCrossBackendBitIdentity:
 
 
 class TestLadderWave:
-    def test_process_ladder_matches_serial_walk(self, small_profile_graph):
+    @pytest.mark.parametrize("engine_cls",
+                             [ThreadTrialEngine, ProcessTrialEngine])
+    def test_pooled_ladder_matches_serial_walk(
+        self, small_profile_graph, engine_cls
+    ):
         config = ChameleonConfig(**FAST)
         context, cache = _context_and_cache(small_profile_graph, config)
         sigmas = [1.0, 2.0, 0.5, 4.0, 0.25]
@@ -276,7 +282,7 @@ class TestLadderWave:
             small_profile_graph, config, context, cache=cache, entropy=99
         )
         expected = serial.run_ladder(sigmas)
-        with ProcessTrialEngine(
+        with engine_cls(
             small_profile_graph, config, context, cache=cache, entropy=99,
             n_workers=2,
         ) as engine:
@@ -294,6 +300,37 @@ class TestLadderWave:
         if len(expected) < len(sigmas):
             assert cancelled >= 0
             assert got[-1].success
+
+
+class TestEngineRetargeting:
+    """set_privacy / set_entropy retarget a live engine without rebuild;
+    a retargeted pooled engine must equal a freshly built serial one."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_retargeted_engine_matches_fresh(
+        self, small_profile_graph, backend
+    ):
+        config = ChameleonConfig(**FAST)
+        context, cache = _context_and_cache(small_profile_graph, config)
+        fresh_config = config.with_privacy(3, 0.35)
+        fresh = SerialTrialEngine(
+            small_profile_graph, fresh_config, context, cache=cache,
+            entropy=1234,
+        )
+        expected = fresh.run_probe(0, 0.5)
+        with create_trial_engine(
+            small_profile_graph, config, context, cache=cache, entropy=99,
+            backend=backend, n_workers=2,
+        ) as engine:
+            engine.run_probe(0, 0.5)  # consume the pre-retarget state
+            engine.set_privacy(3, 0.35)
+            engine.set_entropy(1234)
+            got = engine.run_probe(0, 0.5)
+        assert got.sigma == expected.sigma
+        assert got.epsilon_achieved == expected.epsilon_achieved
+        assert (got.graph is None) == (expected.graph is None)
+        if got.graph is not None:
+            assert got.graph == expected.graph
 
 
 class TestShmLifecycle:
@@ -393,7 +430,7 @@ class TestShmLifecycle:
 
 class TestConfigurationSurface:
     def test_backends_registry(self):
-        assert TRIAL_BACKENDS == ("serial", "process")
+        assert TRIAL_BACKENDS == ("serial", "thread", "process")
         assert ChameleonConfig().trial_backend == "serial"
 
     def test_unknown_backend_rejected(self):

@@ -49,6 +49,23 @@ def test_failures_reported_per_k(graph):
     assert results[3].epsilon_achieved <= 0.0 or not results[3].success
 
 
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_sweep_backends_bit_identical(graph, backend):
+    """One amortized pooled engine reproduces the serial sweep exactly."""
+    serial = sweep_anonymize(graph, [3, 5], 0.05, seed=4, **FAST)
+    pooled = sweep_anonymize(graph, [3, 5], 0.05, seed=4,
+                             trial_backend=backend, n_workers=2, **FAST)
+    for k in (3, 5):
+        a, b = serial[k], pooled[k]
+        assert a.sigma == b.sigma
+        assert a.epsilon_achieved == b.epsilon_achieved
+        assert a.n_genobf_calls == b.n_genobf_calls
+        assert a.sigma_history == b.sigma_history
+        assert (a.graph is None) == (b.graph is None)
+        if a.graph is not None:
+            assert a.graph == b.graph
+
+
 def test_empty_k_values_rejected(graph):
     with pytest.raises(ConfigurationError):
         sweep_anonymize(graph, [], 0.05)
