@@ -12,6 +12,16 @@ Subcommands
 
 All subcommands speak the probabilistic edge-list format
 (``u v p`` lines) so they compose through the filesystem.
+
+Exit codes
+----------
+``0``  success
+``1``  the run completed but its goal was not met (no obfuscation
+       found, criterion unsatisfied, infeasible target)
+``2``  a library error (bad input, bad configuration)
+``3``  supervised execution exhausted every recovery option (retries,
+       the degradation ladder) or a checkpoint could not be resumed
+``4``  an unexpected internal error (traceback on stderr)
 """
 
 from __future__ import annotations
@@ -19,13 +29,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import traceback
 
 import numpy as np
 
 from .baselines import rep_an
 from .core import TRIAL_BACKENDS, anonymize
 from .datasets import dataset_tolerance, load_dataset
-from .exceptions import ReproError
+from .exceptions import ReproError, ResilienceError
+
+#: Exit code of a run whose goal was not met (infeasible target).
+EXIT_UNSATISFIED = 1
+#: Exit code for library errors (bad input or configuration).
+EXIT_ERROR = 2
+#: Exit code when supervision (retries + degradation) was exhausted.
+EXIT_RESILIENCE = 3
+#: Exit code for unexpected internal errors.
+EXIT_INTERNAL = 4
 from .metrics import compare_graphs
 from .privacy import (
     OBFUSCATION_CHECKERS,
@@ -105,6 +125,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="worlds for sigma-search utility verification; every "
              "successful candidate's reliability discrepancy is scored "
              "on one persistent world store (0 disables)",
+    )
+    anon.add_argument(
+        "--trial-timeout", type=float, default=None,
+        help="per-trial deadline in seconds; an overrunning trial is "
+             "retried on the same deterministic stream (default: none)",
+    )
+    anon.add_argument(
+        "--max-retries", type=int, default=2,
+        help="probe re-executions per backend before the supervisor "
+             "degrades process -> thread -> serial (default: 2)",
+    )
+    anon.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="sigma-search checkpoint journal; every completed probe "
+             "is persisted so an interrupted run can be resumed",
+    )
+    anon.add_argument(
+        "--resume", action="store_true",
+        help="replay completed probes from --checkpoint instead of "
+             "recomputing them (bit-identical to an uninterrupted run)",
+    )
+    anon.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="deterministic fault-injection plan for testing the "
+             "supervision layer, e.g. 'crash@0.0;delay@*.1:0.5;shm' "
+             "(default: the REPRO_FAULTS environment variable)",
     )
     _add_backend_arguments(anon)
 
@@ -205,7 +251,7 @@ def _cmd_anonymize(args) -> int:
         epsilon = dataset_tolerance(args.input)
     if args.method == "rep-an":
         # Rep-An's obfuscation phase is degree-based and never samples
-        # worlds, so the connectivity flags do not apply to it.
+        # worlds, so the connectivity/resilience flags do not apply to it.
         result = rep_an(graph, args.k, epsilon, seed=args.seed,
                         n_trials=args.trials)
     else:
@@ -215,13 +261,18 @@ def _cmd_anonymize(args) -> int:
                            n_workers=args.workers,
                            trial_backend=args.trial_backend,
                            obfuscation_checker=args.checker,
-                           utility_samples=args.utility_samples)
+                           utility_samples=args.utility_samples,
+                           trial_timeout=args.trial_timeout,
+                           max_retries=args.max_retries,
+                           fault_plan=args.faults,
+                           checkpoint_path=args.checkpoint,
+                           resume=args.resume)
     if not result.success:
         print(
             f"FAILED: no (k={args.k}, eps={epsilon}) obfuscation found",
             file=sys.stderr,
         )
-        return 1
+        return EXIT_UNSATISFIED
     write_edge_list(result.graph.dropping_zero_edges(), args.output)
     print(json.dumps(result.summary(), indent=2))
     return 0
@@ -356,14 +407,27 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code (see module docs)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except ResilienceError as exc:
+        # Before the generic handler: ResilienceError is a ReproError,
+        # but "every recovery option failed" (timeouts exhausted, ladder
+        # walked to the end, unresumable checkpoint) deserves its own
+        # exit code so schedulers can distinguish it from bad input.
+        print(f"resilience error: {exc}", file=sys.stderr)
+        return EXIT_RESILIENCE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+    except Exception:  # noqa: BLE001 -- last-resort boundary: anything
+        # escaping here is a bug, reported as such with its traceback.
+        traceback.print_exc()
+        print("internal error (this is a bug; traceback above)",
+              file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

@@ -10,6 +10,9 @@
 * :mod:`repro.core.noise` -- truncated-normal noise and the max-entropy
   perturbation rule (Section V-F).
 * :mod:`repro.core.selection` -- uncertainty-aware edge selection.
+* :mod:`repro.core.resilience` / :mod:`repro.core.faults` -- supervised
+  trial execution (retry / degradation ladder / checkpoint-resume) and
+  the deterministic fault-injection harness that proves it.
 """
 
 from .calibration import calibrate_k, k_for_attack_rate
@@ -31,6 +34,7 @@ from .noise import (
     perturb_probabilities,
     truncated_normal_noise,
 )
+from .faults import FaultAction, FaultPlan
 from .parallel import (
     TRIAL_BACKENDS,
     ProcessTrialEngine,
@@ -39,7 +43,13 @@ from .parallel import (
     TrialResult,
     create_trial_engine,
 )
-from .result import AnonymizationResult, GenObfOutcome
+from .resilience import (
+    DEGRADATION_LADDER,
+    RetryPolicy,
+    SigmaSearchJournal,
+    SupervisedTrialEngine,
+)
+from .result import AnonymizationResult, DegradationEvent, GenObfOutcome
 from .selection import exclusion_set, select_candidate_edges, selection_weights
 
 __all__ = [
@@ -59,6 +69,13 @@ __all__ = [
     "ThreadTrialEngine",
     "ProcessTrialEngine",
     "create_trial_engine",
+    "FaultAction",
+    "FaultPlan",
+    "DEGRADATION_LADDER",
+    "RetryPolicy",
+    "SigmaSearchJournal",
+    "SupervisedTrialEngine",
+    "DegradationEvent",
     "truncated_normal_noise",
     "draw_noise",
     "apply_max_entropy",

@@ -39,8 +39,10 @@ from ..reliability.worldstore import (
 from ..ugraph.graph import UncertainGraph
 from ..ugraph.validation import validate_graph, validate_privacy_parameters
 from .config import ChameleonConfig, variant_config
+from .faults import FaultPlan
 from .genobf import build_selection_context
 from .parallel import create_trial_engine
+from .resilience import RetryPolicy, SigmaSearchJournal, SupervisedTrialEngine
 from .result import AnonymizationResult, GenObfOutcome
 
 __all__ = ["Chameleon", "anonymize"]
@@ -202,8 +204,31 @@ class Chameleon:
                 probes.append(config.sigma_initial / factor)
             factor *= 2.0
 
-        engine = create_trial_engine(
-            graph, config, context, cache=cache, entropy=trial_entropy
+        # Supervised execution: retryable failures (worker death, trial
+        # timeouts, injected faults) rebuild the engine from this factory
+        # and re-run the probe -- bit-identically, since trials are pure
+        # functions of their coordinates -- degrading the backend
+        # process -> thread -> serial when retries are exhausted.
+        fault_plan = FaultPlan.from_config(config)
+        policy = RetryPolicy.from_config(config)
+        journal = (
+            SigmaSearchJournal(
+                config.checkpoint_path, graph=graph, config=config,
+                context=context, entropy=trial_entropy, resume=config.resume,
+            )
+            if config.checkpoint_path is not None
+            else None
+        )
+
+        def engine_factory(backend: str):
+            return create_trial_engine(
+                graph, config, context, cache=cache, entropy=trial_entropy,
+                backend=backend, fault_plan=fault_plan,
+                task_timeout=config.trial_timeout,
+            )
+
+        engine = SupervisedTrialEngine(
+            engine_factory, config.trial_backend, policy, journal=journal
         )
         trial_workers = engine.n_workers
         search_started = time.perf_counter()
@@ -241,6 +266,9 @@ class Chameleon:
                     trial_workers=trial_workers,
                     search_seconds=search_seconds,
                     utility_history=tuple(utility_history),
+                    degradations=engine.degradations,
+                    trial_retries=engine.retry_count,
+                    resumed_probes=engine.resumed_probes,
                 )
             sigma_low = 0.0
 
@@ -288,6 +316,9 @@ class Chameleon:
             search_seconds=search_seconds,
             utility_discrepancy=utility_scores.get(best_probe),
             utility_history=tuple(utility_history),
+            degradations=engine.degradations,
+            trial_retries=engine.retry_count,
+            resumed_probes=engine.resumed_probes,
         )
 
 

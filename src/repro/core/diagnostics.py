@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import kernels
+from .. import _shm, kernels
 from ..exceptions import ObfuscationError
 from ..privacy.degree_distribution import expected_degree_knowledge
 from ..ugraph.graph import UncertainGraph
@@ -46,7 +46,7 @@ __all__ = [
 ]
 
 #: Environment variables that change repro's execution behavior.
-_REPRO_ENV_VARS = ("REPRO_KERNELS", "REPRO_NUM_WORKERS")
+_REPRO_ENV_VARS = ("REPRO_KERNELS", "REPRO_NUM_WORKERS", "REPRO_FAULTS")
 
 
 def execution_environment() -> dict:
@@ -59,12 +59,18 @@ def execution_environment() -> dict:
     JSON-serializable by construction; surfaced by the
     ``chameleon capabilities`` subcommand and embedded in every
     benchmark results file.
+
+    Calling this also runs the shared-memory janitor
+    (:func:`repro._shm.reap_orphan_segments`): ``repro-<pid>-...``
+    segments whose owning process died without cleanup are unlinked, and
+    the report's ``shm`` section records what was found.
     """
     try:
         import scipy
         scipy_version = scipy.__version__
     except ImportError:  # pragma: no cover - scipy is a hard dependency
         scipy_version = None
+    reaped = _shm.reap_orphan_segments()
     return {
         "python": sys.version.split()[0],
         "platform": sys.platform,
@@ -75,6 +81,12 @@ def execution_environment() -> dict:
             name: os.environ[name]
             for name in _REPRO_ENV_VARS
             if name in os.environ
+        },
+        "shm": {
+            "active_segments": list(_shm.active_segments()),
+            "orphans_found": reaped["found"],
+            "orphans_reaped": reaped["reaped"],
+            "orphans_failed": reaped["failed"],
         },
     }
 

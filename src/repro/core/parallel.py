@@ -53,19 +53,23 @@ count (asserted by ``tests/test_parallel_trials.py`` and audited by
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 
 import numpy as np
-from multiprocessing import shared_memory
 
-from ..exceptions import ConfigurationError
+from .. import _shm
+from ..exceptions import ConfigurationError, InjectedFault, TrialTimeoutError
 from ..privacy.incremental import DegreeUncertaintyCache
 from ..privacy.obfuscation import ObfuscationReport, check_obfuscation
 from ..reliability.connectivity import resolve_worker_count
 from ..ugraph.graph import UncertainGraph
 from ..ugraph.operations import apply_edge_updates
+from .faults import execute_fault
 from .noise import perturb_probabilities
 from .result import FAILURE_EPSILON, GenObfOutcome
 from .selection import select_candidate_edges
@@ -85,6 +89,11 @@ __all__ = [
 
 #: Selectable trial-execution backends for ``ChameleonConfig``.
 TRIAL_BACKENDS = ("serial", "thread", "process")
+
+#: Default deadline for pool shutdown before workers are killed.
+DEFAULT_SHUTDOWN_TIMEOUT = 2.0
+
+logger = logging.getLogger("repro.core.parallel")
 
 
 def trial_generator(
@@ -268,11 +277,24 @@ class TrialEngine:
     entropy:
         Per-run root entropy of the trial streams (see
         :func:`trial_generator`).
+    fault_plan:
+        Optional :class:`repro.core.faults.FaultPlan`; consulted (and
+        consumed) at dispatch time for every trial, in deterministic
+        submission order.  ``None`` disables injection.
+    task_timeout:
+        Per-trial deadline in seconds.  Pooled engines enforce it on the
+        future wait (:class:`~repro.exceptions.TrialTimeoutError`); the
+        serial engine can only check it *after* each trial completes.
+        ``None`` (default) waits forever.
     """
 
     backend = "abstract"
 
-    def __init__(self, graph, config, context, cache=None, entropy=0):
+    #: Bounded deadline :meth:`close` grants a pool before escalating.
+    shutdown_timeout = DEFAULT_SHUTDOWN_TIMEOUT
+
+    def __init__(self, graph, config, context, cache=None, entropy=0,
+                 fault_plan=None, task_timeout=None):
         self._graph = graph
         self._config = config
         self._context = context
@@ -280,8 +302,15 @@ class TrialEngine:
             cache = DegreeUncertaintyCache(graph, knowledge=context.knowledge)
         self._cache = cache
         self._entropy = int(entropy)
+        self._fault_plan = fault_plan
+        self._task_timeout = task_timeout
         self._trials_executed = 0
         self._trials_cancelled = 0
+
+    def _draw_fault(self, probe_index: int, trial_index: int):
+        if self._fault_plan is None:
+            return None
+        return self._fault_plan.draw(probe_index, trial_index)
 
     @property
     def n_workers(self) -> int:
@@ -354,18 +383,31 @@ class TrialEngine:
 
 
 class SerialTrialEngine(TrialEngine):
-    """The in-process reference executor (``trial_backend="serial"``)."""
+    """The in-process reference executor (``trial_backend="serial"``).
+
+    Timeout semantics: a single-threaded engine cannot preempt a running
+    trial, so ``task_timeout`` is checked *after* each trial; a trial
+    that overran still raises :class:`TrialTimeoutError` (the
+    supervisor's retry re-runs the same deterministic coordinates).
+    """
 
     backend = "serial"
 
     def run_probe(self, probe_index: int, sigma: float) -> GenObfOutcome:
-        results = [
-            run_trial(
+        results = []
+        for t in range(self._config.n_trials):
+            started = time.perf_counter()
+            execute_fault(self._draw_fault(probe_index, t))
+            results.append(run_trial(
                 self._graph, self._config, self._context, sigma,
                 probe_index, t, self._entropy, self._cache,
-            )
-            for t in range(self._config.n_trials)
-        ]
+            ))
+            elapsed = time.perf_counter() - started
+            if self._task_timeout is not None and elapsed > self._task_timeout:
+                raise TrialTimeoutError(
+                    f"trial (probe {probe_index}, trial {t}) took "
+                    f"{elapsed:.3f}s, over the {self._task_timeout}s deadline"
+                )
         self._trials_executed += len(results)
         return reduce_probe(self._graph, self._config, sigma, results)
 
@@ -383,9 +425,29 @@ class _PooledTrialEngine(TrialEngine):
     def _submit_probe(self, probe_index: int, sigma: float) -> list:
         raise NotImplementedError
 
+    def _await(self, future, probe_index: int, trial_index: int):
+        """One future's result under the per-task deadline."""
+        try:
+            return future.result(timeout=self._task_timeout)
+        except _FuturesTimeout:
+            raise TrialTimeoutError(
+                f"trial (probe {probe_index}, trial {trial_index}) exceeded "
+                f"its {self._task_timeout}s deadline on the "
+                f"{self.backend!r} backend"
+            ) from None
+
     def run_probe(self, probe_index: int, sigma: float) -> GenObfOutcome:
         futures = self._submit_probe(probe_index, sigma)
-        results = [future.result() for future in futures]
+        try:
+            results = [
+                self._await(future, probe_index, t)
+                for t, future in enumerate(futures)
+            ]
+        except BaseException:
+            self._trials_cancelled += sum(
+                1 for future in futures if future.cancel()
+            )
+            raise
         self._trials_executed += len(results)
         return reduce_probe(self._graph, self._config, sigma, results)
 
@@ -409,7 +471,7 @@ class _PooledTrialEngine(TrialEngine):
         try:
             for i, sigma in enumerate(sigmas):
                 results = [
-                    futures[i * n_trials + t].result()
+                    self._await(futures[i * n_trials + t], first_probe_index + i, t)
                     for t in range(n_trials)
                 ]
                 self._trials_executed += len(results)
@@ -447,9 +509,10 @@ class ThreadTrialEngine(_PooledTrialEngine):
 
     def __init__(
         self, graph, config, context, cache=None, entropy=0,
-        n_workers: int | None = None,
+        n_workers: int | None = None, fault_plan=None, task_timeout=None,
     ):
-        super().__init__(graph, config, context, cache=cache, entropy=entropy)
+        super().__init__(graph, config, context, cache=cache, entropy=entropy,
+                         fault_plan=fault_plan, task_timeout=task_timeout)
         self._n_workers = resolve_worker_count(
             n_workers if n_workers is not None else config.n_workers
         )
@@ -476,27 +539,50 @@ class ThreadTrialEngine(_PooledTrialEngine):
             self._local.cache = cache
         return cache
 
-    def _run_one(self, probe_index, trial_index, sigma, config, entropy):
+    def _run_one(self, probe_index, trial_index, sigma, config, entropy,
+                 fault=None):
+        execute_fault(fault)
         return run_trial(
             self._graph, config, self._context, sigma,
             probe_index, trial_index, entropy, self._worker_cache(),
         )
 
     def _submit_probe(self, probe_index: int, sigma: float) -> list:
-        # Bind config/entropy at submission time so a later set_privacy /
-        # set_entropy cannot retroactively change queued trials.
+        # Bind config/entropy (and any injected fault) at submission time
+        # so a later set_privacy / set_entropy cannot retroactively change
+        # queued trials, and fault decisions stay deterministic.
         config, entropy = self._config, self._entropy
         return [
             self._pool.submit(
-                self._run_one, probe_index, t, sigma, config, entropy
+                self._run_one, probe_index, t, sigma, config, entropy,
+                self._draw_fault(probe_index, t),
             )
             for t in range(config.n_trials)
         ]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        """Shut the pool down without blocking interpreter exit.
+
+        Worker threads cannot be killed; outstanding futures are
+        cancelled, live workers are joined for at most
+        ``shutdown_timeout`` seconds, and any thread still wedged past
+        the deadline is logged (it will die with the process).
+        """
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        workers = list(getattr(pool, "_threads", ()))
+        pool.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + self.shutdown_timeout
+        for worker in workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+        wedged = [w.name for w in workers if w.is_alive()]
+        if wedged:
+            logger.warning(
+                "thread pool shutdown deadline (%.1fs) expired with %d "
+                "worker(s) still running: %s", self.shutdown_timeout,
+                len(wedged), wedged,
+            )
 
 
 # --------------------------------------------------------------------- #
@@ -508,13 +594,15 @@ def _pack_arrays(arrays: dict[str, np.ndarray]):
 
     The manifest -- ``(name, dtype, shape, offset)`` tuples -- is the
     only thing pickled to workers; the array payload crosses the process
-    boundary through the named segment.
+    boundary through the named segment.  The segment comes from the
+    :mod:`repro._shm` registry, so an interpreter death between here and
+    :meth:`ProcessTrialEngine.close` is swept at exit instead of leaking.
     """
     contiguous = {
         name: np.ascontiguousarray(arr) for name, arr in arrays.items()
     }
     total = sum(arr.nbytes for arr in contiguous.values())
-    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    shm = _shm.create_segment(total)
     manifest: list[tuple[str, str, tuple, int]] = []
     offset = 0
     for name, arr in contiguous.items():
@@ -534,7 +622,7 @@ def _unpack_arrays(shm_name: str, manifest) -> dict[str, np.ndarray]:
     Copying lets the worker detach immediately, so the parent's
     ``close()``/``unlink()`` never races a live view.
     """
-    shm = shared_memory.SharedMemory(name=shm_name)
+    shm = _shm.attach_segment(shm_name)
     try:
         out: dict[str, np.ndarray] = {}
         for name, dtype, shape, offset in manifest:
@@ -579,17 +667,25 @@ _WORKER_STATE: dict | None = None
 
 def _init_trial_worker(
     shm_name: str, manifest, n_nodes: int, config, entropy: int,
-    has_matrix: bool,
+    has_matrix: bool, poison_attach: bool = False,
 ) -> None:
     """Pool initializer: attach, rebuild the run invariants, detach.
 
     Runs once per worker process.  The base pmf matrix (when the
     incremental checker is configured) skips the per-vertex DP via
-    :meth:`DegreeUncertaintyCache.from_base_matrix`.
+    :meth:`DegreeUncertaintyCache.from_base_matrix`.  ``poison_attach``
+    is the fault-injection hook: the initializer dies before touching
+    the segment, so the parent's first dispatched wave observes a
+    ``BrokenProcessPool`` -- the signature of a bad shm attach.
     """
     global _WORKER_STATE
     from .genobf import SelectionContext
 
+    if poison_attach:
+        raise InjectedFault(
+            "injected shm-attach poisoning (fault plan): worker refused "
+            f"to attach segment {shm_name}"
+        )
     arrays = _unpack_arrays(shm_name, manifest)
     graph = _graph_from_arrays(
         n_nodes, arrays["edge_src"], arrays["edge_dst"], arrays["edge_prob"]
@@ -623,9 +719,11 @@ def _trial_task(payload) -> TrialResult:
     defaults apply) or an ``(entropy, k, epsilon)`` tuple when a sweep
     retargeted the engine after pool start-up; retargeted configs are
     memoized per worker so each (k, epsilon) pays ``with_privacy``'s
-    validation once.
+    validation once.  An optional fifth element carries an injected
+    :class:`~repro.core.faults.FaultAction` (decided parent-side).
     """
-    probe_index, trial_index, sigma, overrides = payload
+    probe_index, trial_index, sigma, overrides, *rest = payload
+    execute_fault(rest[0] if rest else None)
     state = _WORKER_STATE
     config = state["config"]
     entropy = state["entropy"]
@@ -654,12 +752,15 @@ class ProcessTrialEngine(_PooledTrialEngine):
 
     def __init__(
         self, graph, config, context, cache=None, entropy=0,
-        n_workers: int | None = None,
+        n_workers: int | None = None, fault_plan=None, task_timeout=None,
     ):
-        super().__init__(graph, config, context, cache=cache, entropy=entropy)
+        super().__init__(graph, config, context, cache=cache, entropy=entropy,
+                         fault_plan=fault_plan, task_timeout=task_timeout)
         self._n_workers = resolve_worker_count(
             n_workers if n_workers is not None else config.n_workers
         )
+        self._shm = None
+        self._pool: ProcessPoolExecutor | None = None
         arrays = {
             "edge_src": graph.edge_src,
             "edge_dst": graph.edge_dst,
@@ -678,13 +779,13 @@ class ProcessTrialEngine(_PooledTrialEngine):
         # (entropy, k, epsilon) triple rides along in every task payload,
         # overriding the worker-state defaults baked in at pool start-up.
         self._overrides: tuple[int, int, float] | None = None
-        self._pool: ProcessPoolExecutor | None = None
+        poison = fault_plan.take_shm_poison() if fault_plan else False
         try:
             self._pool = ProcessPoolExecutor(
                 max_workers=self._n_workers,
                 initializer=_init_trial_worker,
                 initargs=(self._shm.name, manifest, graph.n_nodes, config,
-                          self._entropy, has_matrix),
+                          self._entropy, has_matrix, poison),
             )
         except BaseException:
             self.close()
@@ -701,32 +802,57 @@ class ProcessTrialEngine(_PooledTrialEngine):
     def _submit_probe(self, probe_index: int, sigma: float):
         overrides = self._overrides
         return [
-            self._pool.submit(_trial_task, (probe_index, t, sigma, overrides))
+            self._pool.submit(
+                _trial_task,
+                (probe_index, t, sigma, overrides,
+                 self._draw_fault(probe_index, t)),
+            )
             for t in range(self._config.n_trials)
         ]
 
     def close(self) -> None:
+        """Shut down the pool (bounded) and unlink the published segment.
+
+        A wedged or fault-delayed worker must not be able to hang
+        interpreter exit: live workers get ``shutdown_timeout`` seconds
+        to drain, then are killed outright and reaped.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+            pool, self._pool = self._pool, None
+            workers = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            deadline = time.monotonic() + self.shutdown_timeout
+            for worker in workers:
+                worker.join(max(0.0, deadline - time.monotonic()))
+            survivors = [w for w in workers if w.is_alive()]
+            for worker in survivors:
+                worker.kill()
+            if survivors:
+                logger.warning(
+                    "pool shutdown deadline (%.1fs) expired; killed %d "
+                    "worker process(es): %s", self.shutdown_timeout,
+                    len(survivors), [w.pid for w in survivors],
+                )
+                for worker in survivors:
+                    worker.join(1.0)  # reap the corpse, avoid zombies
         if self._shm is not None:
-            self._shm.close()
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:
-                pass
-            self._shm = None
+            shm, self._shm = self._shm, None
+            _shm.release_segment(shm)
 
     def __del__(self):  # best-effort backstop; close() is the contract
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, ValueError, RuntimeError) as exc:
+            # Interpreter-teardown close can fail (pool machinery or the
+            # shm file already gone); say so instead of hiding it.
+            logger.warning("ProcessTrialEngine.__del__ cleanup failed: %s",
+                           exc)
 
 
 def create_trial_engine(
     graph, config, context, cache=None, entropy=0,
     backend: str | None = None, n_workers: int | None = None,
+    fault_plan=None, task_timeout=None,
 ) -> TrialEngine:
     """Build the engine ``config.trial_backend`` (or ``backend``) names."""
     backend = config.trial_backend if backend is None else backend
@@ -738,13 +864,16 @@ def create_trial_engine(
     if backend == "process":
         return ProcessTrialEngine(
             graph, config, context, cache=cache, entropy=entropy,
-            n_workers=n_workers,
+            n_workers=n_workers, fault_plan=fault_plan,
+            task_timeout=task_timeout,
         )
     if backend == "thread":
         return ThreadTrialEngine(
             graph, config, context, cache=cache, entropy=entropy,
-            n_workers=n_workers,
+            n_workers=n_workers, fault_plan=fault_plan,
+            task_timeout=task_timeout,
         )
     return SerialTrialEngine(
-        graph, config, context, cache=cache, entropy=entropy
+        graph, config, context, cache=cache, entropy=entropy,
+        fault_plan=fault_plan, task_timeout=task_timeout,
     )

@@ -7,10 +7,35 @@ from dataclasses import dataclass, field
 from ..privacy.obfuscation import ObfuscationReport
 from ..ugraph.graph import UncertainGraph
 
-__all__ = ["GenObfOutcome", "AnonymizationResult"]
+__all__ = ["GenObfOutcome", "DegradationEvent", "AnonymizationResult"]
 
 #: Sentinel "all attempts failed" tolerance (Algorithm 3 returns eps~ = 1).
 FAILURE_EPSILON = 1.0
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One rung of the supervised degradation ladder, as it fired.
+
+    Recorded by :class:`repro.core.resilience.SupervisedTrialEngine`
+    whenever it abandons a backend (``process -> thread`` or
+    ``thread -> serial``) after exhausting that backend's retries.
+    Defined here (not in :mod:`repro.core.resilience`) so result types
+    never import the supervision machinery.
+    """
+
+    backend_from: str
+    backend_to: str
+    reason: str
+    retries: int
+
+    def summary(self) -> dict:
+        return {
+            "from": self.backend_from,
+            "to": self.backend_to,
+            "reason": self.reason,
+            "retries": self.retries,
+        }
 
 
 @dataclass(frozen=True)
@@ -82,6 +107,16 @@ class AnonymizationResult:
     utility_history:
         ``(sigma, discrepancy)`` per *successful* GenObf call scored by
         the world store, in search order.
+    degradations:
+        :class:`DegradationEvent` per backend the supervised engine
+        abandoned, in firing order.  Empty when the run never degraded
+        (or supervision was off).
+    trial_retries:
+        Probe re-executions the supervisor performed (crashes, timeouts
+        and injected faults recovered from), across all backends.
+    resumed_probes:
+        Probe outcomes replayed from a checkpoint journal instead of
+        being recomputed (``--resume``).
     """
 
     graph: UncertainGraph | None
@@ -99,6 +134,9 @@ class AnonymizationResult:
     search_seconds: float = 0.0
     utility_discrepancy: float | None = None
     utility_history: tuple[tuple[float, float], ...] = field(default_factory=tuple)
+    degradations: tuple[DegradationEvent, ...] = field(default_factory=tuple)
+    trial_retries: int = 0
+    resumed_probes: int = 0
 
     @property
     def success(self) -> bool:
@@ -127,6 +165,9 @@ class AnonymizationResult:
             "trial_workers": self.trial_workers,
             "search_seconds": self.search_seconds,
             "utility_discrepancy": self.utility_discrepancy,
+            "degradations": [d.summary() for d in self.degradations],
+            "trial_retries": self.trial_retries,
+            "resumed_probes": self.resumed_probes,
         }
 
     def __repr__(self) -> str:

@@ -31,8 +31,10 @@ from ..ugraph.graph import UncertainGraph
 from ..ugraph.validation import validate_graph, validate_privacy_parameters
 from .chameleon import _SIGMA_FLOOR
 from .config import variant_config
+from .faults import FaultPlan
 from .genobf import build_selection_context
 from .parallel import create_trial_engine
+from .resilience import RetryPolicy, SupervisedTrialEngine
 from .result import AnonymizationResult
 
 __all__ = ["sweep_anonymize"]
@@ -137,7 +139,21 @@ def sweep_anonymize(
     context = build_selection_context(graph, base_config, knowledge, seed=rng)
 
     results: dict[int, AnonymizationResult] = {}
-    engine = create_trial_engine(graph, base_config, context)
+    # The amortized engine runs supervised (retry + degradation ladder)
+    # like the single-run path; checkpointing is a per-run feature and
+    # does not apply to sweeps.
+    fault_plan = FaultPlan.from_config(base_config)
+
+    def engine_factory(backend: str):
+        return create_trial_engine(
+            graph, base_config, context, backend=backend,
+            fault_plan=fault_plan, task_timeout=base_config.trial_timeout,
+        )
+
+    engine = SupervisedTrialEngine(
+        engine_factory, base_config.trial_backend,
+        RetryPolicy.from_config(base_config),
+    )
     try:
         for k in ks:
             config = base_config.with_privacy(k, epsilon)

@@ -52,7 +52,7 @@ import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
 from scipy.sparse.csgraph import connected_components as _scipy_cc
 
-from .. import kernels
+from .. import _shm, kernels
 from ..exceptions import ConfigurationError
 from ..ugraph.graph import UncertainGraph
 from .union_find import component_labels as _uf_labels
@@ -268,8 +268,13 @@ atexit.register(shutdown_worker_pools)
 
 
 def _create_shared_masks(masks: np.ndarray) -> shared_memory.SharedMemory:
-    """Copy a boolean world matrix into a fresh shared-memory segment."""
-    shm = shared_memory.SharedMemory(create=True, size=max(1, masks.nbytes))
+    """Copy a boolean world matrix into a fresh shared-memory segment.
+
+    The segment comes from the :mod:`repro._shm` registry, so an
+    interpreter killed between creation and the ``finally`` unlink in
+    :func:`_process_labels` is swept at exit instead of leaking.
+    """
+    shm = _shm.create_segment(masks.nbytes)
     view = np.ndarray(masks.shape, dtype=np.bool_, buffer=shm.buf)
     view[:] = masks
     # ``view`` goes out of scope here; only the segment's own buffer
@@ -309,7 +314,7 @@ def _labels_shm_worker(payload) -> np.ndarray:
     the segment as soon as every worker has read its slice.
     """
     n_nodes, src, dst, shm_name, shape, start, stop = payload
-    shm = shared_memory.SharedMemory(name=shm_name)
+    shm = _shm.attach_segment(shm_name)
     try:
         view = np.ndarray(shape, dtype=np.bool_, buffer=shm.buf)
         chunk = np.array(view[start:stop], copy=True)
@@ -351,11 +356,7 @@ def _process_labels(
             raise
         return np.concatenate(parts, axis=0)
     finally:
-        shm.close()
-        try:
-            shm.unlink()
-        except FileNotFoundError:
-            pass
+        _shm.release_segment(shm)
 
 
 def component_labels_for_edges(

@@ -254,6 +254,97 @@ def test_pipeline_with_batched_backend(tmp_path, capsys):
     assert "reliability" in rows
 
 
+def test_resilience_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args([
+        "anonymize", "a.pel", "b.pel", "--k", "3",
+        "--trial-timeout", "5.0", "--max-retries", "1",
+        "--checkpoint", "search.jsonl", "--resume",
+        "--faults", "crash@0.0",
+    ])
+    assert args.trial_timeout == 5.0
+    assert args.max_retries == 1
+    assert args.checkpoint == "search.jsonl"
+    assert args.resume is True
+    assert args.faults == "crash@0.0"
+    # Defaults: no timeout, no checkpoint, faults deferred to the env.
+    args = parser.parse_args(["anonymize", "a.pel", "b.pel", "--k", "3"])
+    assert args.trial_timeout is None
+    assert args.checkpoint is None
+    assert args.resume is False
+    assert args.faults is None
+
+
+def test_resume_without_checkpoint_exit_2(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "30"])
+    capsys.readouterr()
+    code = main([
+        "anonymize", str(source), str(tmp_path / "anon.pel"),
+        "--method", "me", "--k", "4", "--epsilon", "0.08",
+        "--trials", "2", "--seed", "31", "--resume",
+    ])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_exhausted_supervision_exit_3(tmp_path, capsys):
+    """An unbounded crash plan kills every rung of the degradation
+    ladder: the CLI must report it as exit 3, distinct from both
+    infeasibility (1) and bad input (2)."""
+    source = tmp_path / "orig.pel"
+    target = tmp_path / "anon.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "32"])
+    capsys.readouterr()
+    code = main([
+        "anonymize", str(source), str(target),
+        "--method", "me", "--k", "4", "--epsilon", "0.08",
+        "--trials", "2", "--seed", "33", "--trial-backend", "thread",
+        "--faults", "crash@*.*x100000", "--max-retries", "0",
+    ])
+    err = capsys.readouterr().err
+    assert code == 3
+    assert "resilience error" in err
+    assert not target.exists()
+
+
+def test_fault_recovery_matches_clean_run(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    clean = tmp_path / "clean.pel"
+    faulted = tmp_path / "faulted.pel"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "34"])
+    capsys.readouterr()
+    common = ["--method", "me", "--k", "4", "--epsilon", "0.08",
+              "--trials", "2", "--seed", "35", "--trial-backend", "thread"]
+    assert main(["anonymize", str(source), str(clean)] + common) == 0
+    capsys.readouterr()
+    assert main(["anonymize", str(source), str(faulted),
+                 "--faults", "crash@0.0"] + common) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["trial_retries"] >= 1
+    assert clean.read_text() == faulted.read_text()
+
+
+def test_checkpoint_resume_roundtrip(tmp_path, capsys):
+    source = tmp_path / "orig.pel"
+    first = tmp_path / "first.pel"
+    resumed = tmp_path / "resumed.pel"
+    journal = tmp_path / "search.jsonl"
+    main(["generate", "ppi", str(source), "--scale", "0.2", "--seed", "36"])
+    capsys.readouterr()
+    common = ["--method", "me", "--k", "4", "--epsilon", "0.08",
+              "--trials", "2", "--seed", "37",
+              "--checkpoint", str(journal)]
+    assert main(["anonymize", str(source), str(first)] + common) == 0
+    capsys.readouterr()
+    assert journal.exists()
+    assert main(["anonymize", str(source), str(resumed),
+                 "--resume"] + common) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["resumed_probes"] > 0
+    assert first.read_text() == resumed.read_text()
+
+
 def test_evaluate_backend_equivalence(tmp_path, capsys):
     """Backend choice must not change seeded evaluate output."""
     source = tmp_path / "orig.pel"

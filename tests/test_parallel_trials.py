@@ -24,6 +24,7 @@ from repro.core import (
     gen_obf,
     variant_config,
 )
+from repro import _shm
 from repro.core import parallel
 from repro.core.parallel import (
     ProcessTrialEngine,
@@ -91,8 +92,7 @@ class TestSharedMemoryBundle:
         try:
             out = _unpack_arrays(shm.name, manifest)
         finally:
-            shm.close()
-            shm.unlink()
+            _shm.release_segment(shm)
         assert set(out) == set(arrays)
         for name, arr in arrays.items():
             assert out[name].dtype == arr.dtype
@@ -108,8 +108,7 @@ class TestSharedMemoryBundle:
                 assert isinstance(dtype, str)
                 assert not any(isinstance(x, np.ndarray) for x in entry)
         finally:
-            shm.close()
-            shm.unlink()
+            _shm.release_segment(shm)
 
     def test_graph_reconstruction_matches(self, small_profile_graph):
         g = small_profile_graph
@@ -158,8 +157,7 @@ class TestWorkerPathEqualsParentPath:
             )
             worker_result = _trial_task((3, 1, 0.5, None))
         finally:
-            shm.close()
-            shm.unlink()
+            _shm.release_segment(shm)
         parent_result = run_trial(
             graph, config, context, 0.5, 3, 1, entropy, cache
         )
@@ -398,11 +396,11 @@ class TestShmLifecycle:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=names[0])
 
-    def test_anonymize_closes_engine_on_worker_crash(
+    def test_anonymize_survives_worker_crash_and_unlinks_shm(
         self, small_profile_graph, monkeypatch
     ):
-        """Chameleon.anonymize's finally must release the shm segment even
-        when the search dies mid-flight."""
+        """A dead process pool degrades to the thread backend and every
+        discarded engine's shm segment is unlinked along the way."""
         names = []
         original = parallel._pack_arrays
 
@@ -419,13 +417,28 @@ class TestShmLifecycle:
             parallel.ProcessTrialEngine, "run_ladder", exploding_ladder
         )
         config = variant_config(
-            "rsme", trial_backend="process", n_workers=2, **FAST
+            "rsme", trial_backend="process", n_workers=2, max_retries=1,
+            retry_backoff=0.0, **FAST
         )
-        with pytest.raises(BrokenProcessPool):
-            Chameleon(config).anonymize(small_profile_graph, seed=3)
-        assert len(names) == 1
-        with pytest.raises(FileNotFoundError):
-            shared_memory.SharedMemory(name=names[0])
+        result = Chameleon(config).anonymize(small_profile_graph, seed=3)
+        reference = anonymize(small_profile_graph, seed=3, **FAST)
+        # 1 original + 1 retry process engines, each with one segment.
+        assert len(names) == 2
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert result.success == reference.success
+        assert result.sigma == reference.sigma
+        assert [
+            (d.backend_from, d.backend_to) for d in result.degradations
+        ] == [("process", "thread")]
+        assert result.trial_backend == "thread"
+        assert result.trial_retries >= 1
+        if reference.success:
+            np.testing.assert_array_equal(
+                result.graph.edge_probabilities,
+                reference.graph.edge_probabilities,
+            )
 
 
 class TestConfigurationSurface:
