@@ -146,6 +146,27 @@ def sweep_segments(reason: str = "atexit") -> int:
     return len(owned)
 
 
+def _chained_handler(sig, frame, previous) -> None:
+    """Sweep segments, then honor whatever disposition ``sig`` had.
+
+    A callable previous handler is invoked (it decides whether to die).
+    ``SIG_IGN`` is *not* callable but still a deliberate choice -- a
+    process that ignores SIGINT/SIGTERM must keep ignoring them after
+    the sweep, not be re-killed with the default action.  Only when the
+    previous disposition was the default (or unknown) is the signal
+    re-raised under ``SIG_DFL`` so the process dies with the right
+    wait-status.
+    """
+    sweep_segments(f"signal {sig}")
+    if callable(previous):
+        previous(sig, frame)
+    elif previous is signal.SIG_IGN:
+        return  # deliberately ignored before us; stay ignored
+    else:
+        signal.signal(sig, signal.SIG_DFL)
+        signal.raise_signal(sig)
+
+
 def _install_exit_hooks() -> None:
     """Register the atexit sweep and chain SIGTERM/SIGINT (once)."""
     global _hooks_installed
@@ -159,12 +180,7 @@ def _install_exit_hooks() -> None:
             previous = signal.getsignal(signum)
 
             def _handler(sig, frame, _previous=previous):
-                sweep_segments(f"signal {sig}")
-                if callable(_previous):
-                    _previous(sig, frame)
-                else:
-                    signal.signal(sig, signal.SIG_DFL)
-                    signal.raise_signal(sig)
+                _chained_handler(sig, frame, _previous)
 
             signal.signal(signum, _handler)
         except (ValueError, OSError):

@@ -6,37 +6,56 @@ Subcommands
 ``anonymize``  run a method (rsme / rs / me / rep-an) on a graph file
 ``check``      evaluate the (k, epsilon)-obfuscation criterion
 ``evaluate``   compare an anonymized graph against the original
+``discrepancy``  reliability discrepancy via one CRN world store
 ``summary``    print Table-I style dataset characteristics
 ``capabilities``  report the execution environment (kernel backend,
                numba availability, usable CPUs, REPRO_* knobs)
+``serve``      run the warm anonymization service (see ``repro.server``)
+``submit`` / ``status`` / ``result`` / ``cancel`` / ``stats`` /
+``shutdown``   talk to a running service
 
-All subcommands speak the probabilistic edge-list format
+All one-shot subcommands speak the probabilistic edge-list format
 (``u v p`` lines) so they compose through the filesystem.
+
+Execution/IO boundary
+---------------------
+Every subcommand implementation takes ``(args, out, err, runtime)``:
+``out``/``err`` are explicit text streams (so the service can capture a
+job's bytes without touching process-global stdio) and ``runtime`` is a
+:class:`CommandRuntime` supplying dataset loading and warm state.  The
+cold runtime used by one-shot runs builds everything from scratch; the
+service substitutes bit-identical warm clones.  Because both paths run
+the *same* command functions, a served result is byte-identical to the
+equivalent one-shot run by construction.
 
 Exit codes
 ----------
 ``0``  success
 ``1``  the run completed but its goal was not met (no obfuscation
        found, criterion unsatisfied, infeasible target)
-``2``  a library error (bad input, bad configuration)
+``2``  a library error (bad input, bad configuration, service protocol)
 ``3``  supervised execution exhausted every recovery option (retries,
        the degradation ladder) or a checkpoint could not be resumed
 ``4``  an unexpected internal error (traceback on stderr)
+``141``  the output consumer closed the pipe early (128 + SIGPIPE);
+       conventional for ``chameleon ... | head``-style pipelines
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
+import os
+import signal
 import sys
 import traceback
 
-import numpy as np
-
 from .baselines import rep_an
 from .core import TRIAL_BACKENDS, anonymize
+from .core.diagnostics import recommended_trial_backend
 from .datasets import dataset_tolerance, load_dataset
-from .exceptions import ReproError, ResilienceError
+from .exceptions import ReproError, ResilienceError, ServerError
 
 #: Exit code of a run whose goal was not met (infeasible target).
 EXIT_UNSATISFIED = 1
@@ -46,6 +65,8 @@ EXIT_ERROR = 2
 EXIT_RESILIENCE = 3
 #: Exit code for unexpected internal errors.
 EXIT_INTERNAL = 4
+#: Exit code when stdout's consumer vanished mid-write (128 + SIGPIPE).
+EXIT_SIGPIPE = 128 + int(getattr(signal, "SIGPIPE", 13))
 from .metrics import compare_graphs
 from .privacy import (
     OBFUSCATION_CHECKERS,
@@ -55,7 +76,53 @@ from .privacy import (
 from .reliability.connectivity import CONNECTIVITY_BACKENDS
 from .ugraph import read_edge_list, summarize, write_edge_list
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CommandRuntime"]
+
+
+class CommandRuntime:
+    """The execution/IO boundary behind every subcommand.
+
+    One-shot CLI runs use this cold implementation: datasets load from
+    scratch and no warm state exists, so ``degree_cache`` returns None
+    (the anonymizer builds its own) and ``world_store`` builds fresh.
+    The anonymization service substitutes a warm runtime backed by
+    :class:`repro.server.registry.DatasetRegistry` whose overrides hand
+    out cached datasets and *clones* of per-dataset caches.
+
+    The contract every override must keep: whatever it returns must be
+    bit-identical to what this cold implementation would have produced
+    for the same arguments.  That single invariant is why a served
+    result can be byte-compared against a one-shot run
+    (``tests/test_server.py`` does exactly that).
+    """
+
+    #: Per-probe progress callback threaded into the sigma search and
+    #: sweeps (None: no progress reporting).  The service binds this to
+    #: the job's event log and cancellation flag.
+    probe_observer = None
+
+    def load(self, source, scale: float = 1.0, seed=None):
+        """Load a dataset from a profile name or an edge-list path."""
+        return load_dataset(source, scale=scale, seed=seed)
+
+    def degree_cache(self, graph):
+        """A warm :class:`DegreeUncertaintyCache` for ``graph``, or None.
+
+        None means "build cold inside the anonymizer" -- the cache's
+        output is bit-identical either way, so this hook only moves the
+        O(n * d^2) construction cost, never the result.
+        """
+        return None
+
+    def world_store(self, graph, n_samples, seed, backend="auto",
+                    n_workers=None):
+        """A pristine CRN world store for ``(graph, n_samples, seed)``."""
+        from .reliability.worldstore import WorldStore
+
+        return WorldStore(
+            graph, n_samples, seed=seed, backend=backend,
+            n_workers=n_workers,
+        )
 
 
 def _worker_count(text: str) -> int:
@@ -81,8 +148,24 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_endpoint_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Flags locating a running service (client subcommands)."""
+    subparser.add_argument(
+        "--host", default="127.0.0.1",
+        help="service address (default: 127.0.0.1)",
+    )
+    subparser.add_argument(
+        "--port", type=int, default=None, help="service port",
+    )
+    subparser.add_argument(
+        "--port-file", default=None,
+        help="file holding the service port "
+             "(written by 'serve --port-file')",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """The argparse tree (exposed for tests and docs generation)."""
+    """The argparse tree (exposed for tests, docs and the service)."""
     parser = argparse.ArgumentParser(
         prog="chameleon",
         description="Reliability-preserving anonymization of uncertain graphs.",
@@ -112,13 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
              "full: per-trial matrix rebuild, the correctness oracle)",
     )
     anon.add_argument(
-        "--trial-backend", default="serial", choices=TRIAL_BACKENDS,
+        "--trial-backend", default="serial",
+        choices=("auto", *TRIAL_BACKENDS),
         help="GenObf trial executor (serial: in-process; thread: "
              "persistent thread pool over shared-by-reference state, "
              "GIL-free under the compiled kernel backend; process: "
              "persistent worker pool over shared-memory base state -- "
-             "bit-identical results in all cases; --workers sets the "
-             "pool size)",
+             "bit-identical results in all cases; auto: resolve from "
+             "the host's capability report; --workers sets the pool "
+             "size)",
     )
     anon.add_argument(
         "--utility-samples", type=int, default=0,
@@ -180,6 +265,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arguments(ev)
 
+    disc = sub.add_parser(
+        "discrepancy",
+        help="reliability discrepancy of an anonymized graph via one "
+             "CRN world store (deterministic: --seed is an integer)",
+    )
+    disc.add_argument("original", help="edge-list file or profile name")
+    disc.add_argument("anonymized", help="edge-list file")
+    disc.add_argument("--samples", type=int, default=200)
+    disc.add_argument(
+        "--seed", type=int, default=0,
+        help="world-store seed; an integer (never wall-clock entropy), "
+             "so the store is a pure function of (graph, samples, seed) "
+             "and a warm service can serve it from cache (default: 0)",
+    )
+    _add_backend_arguments(disc)
+
     summ = sub.add_parser("summary", help="dataset characteristics (Table I)")
     summ.add_argument("input", help="edge-list file or profile name")
     summ.add_argument("--seed", type=int, default=None)
@@ -215,9 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Monte-Carlo worlds for the utility column")
     sweep.add_argument("--seed", type=int, default=None)
     sweep.add_argument(
-        "--trial-backend", default="serial", choices=TRIAL_BACKENDS,
+        "--trial-backend", default="serial",
+        choices=("auto", *TRIAL_BACKENDS),
         help="GenObf trial executor, amortized across every k "
-             "(bit-identical results for serial / thread / process)",
+             "(bit-identical results for serial / thread / process; "
+             "auto: resolve from the host's capability report)",
     )
     sweep.add_argument(
         "--workers", type=_worker_count, default=None,
@@ -230,22 +333,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="report the execution environment (kernel backend, numba "
              "availability, usable CPUs, REPRO_* knobs) as JSON",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the warm anonymization service (JSON-lines over a "
+             "local TCP socket; datasets and caches stay warm between "
+             "jobs, results are byte-identical to one-shot runs)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0: pick a free one)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port here once listening")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="bound on queued + running jobs (default: 16)")
+    serve.add_argument("--max-datasets", type=int, default=4,
+                       help="warm datasets kept, LRU-evicted (default: 4)")
+    serve.add_argument("--job-workers", type=_worker_count, default=2,
+                       help="jobs executed concurrently (default: 2)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a one-shot subcommand to a running service"
+    )
+    _add_endpoint_arguments(submit)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes, replay its output and exit "
+             "with its code (byte-identical to running it directly)",
+    )
+    submit.add_argument(
+        "job", nargs=argparse.REMAINDER, metavar="-- subcommand ...",
+        help="the subcommand to run, after '--', e.g. "
+             "-- anonymize in.pel out.pel --k 5 --seed 1",
+    )
+
+    status = sub.add_parser("status", help="job status from a service")
+    _add_endpoint_arguments(status)
+    status.add_argument("job_id", help="job id returned by submit")
+
+    result = sub.add_parser(
+        "result",
+        help="wait for a job, replay its output, exit with its code",
+    )
+    _add_endpoint_arguments(result)
+    result.add_argument("job_id", help="job id returned by submit")
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    _add_endpoint_arguments(cancel)
+    cancel.add_argument("job_id", help="job id returned by submit")
+
+    stats = sub.add_parser(
+        "stats",
+        help="service statistics (cache hits, warm objects, queue depth)",
+    )
+    _add_endpoint_arguments(stats)
+
+    shutdown = sub.add_parser("shutdown", help="stop a running service")
+    _add_endpoint_arguments(shutdown)
     return parser
 
 
-def _load(source: str, seed=None):
-    return load_dataset(source, seed=seed)
-
-
-def _cmd_generate(args) -> int:
-    graph = load_dataset(args.profile, scale=args.scale, seed=args.seed)
+def _cmd_generate(args, out, err, runtime) -> int:
+    graph = runtime.load(args.profile, scale=args.scale, seed=args.seed)
     write_edge_list(graph, args.output)
-    print(f"wrote {graph.n_nodes} nodes / {graph.n_edges} edges to {args.output}")
+    print(f"wrote {graph.n_nodes} nodes / {graph.n_edges} edges to "
+          f"{args.output}", file=out)
     return 0
 
 
-def _cmd_anonymize(args) -> int:
-    graph = _load(args.input, seed=args.seed)
+def _cmd_anonymize(args, out, err, runtime) -> int:
+    graph = runtime.load(args.input, seed=args.seed)
     epsilon = args.epsilon
     if epsilon is None:
         epsilon = dataset_tolerance(args.input)
@@ -255,11 +413,23 @@ def _cmd_anonymize(args) -> int:
         result = rep_an(graph, args.k, epsilon, seed=args.seed,
                         n_trials=args.trials)
     else:
+        trial_backend = args.trial_backend
+        if trial_backend == "auto":
+            # Resolved by a pure function of the host capability report,
+            # so a service job and a one-shot run pick the same engine
+            # (the choice is echoed in the result summary).
+            trial_backend = recommended_trial_backend()
+        cache = (
+            runtime.degree_cache(graph)
+            if args.checker == "incremental" else None
+        )
         result = anonymize(graph, args.k, epsilon, method=args.method,
                            seed=args.seed, n_trials=args.trials,
+                           degree_cache=cache,
+                           observer=runtime.probe_observer,
                            connectivity_backend=args.backend,
                            n_workers=args.workers,
-                           trial_backend=args.trial_backend,
+                           trial_backend=trial_backend,
                            obfuscation_checker=args.checker,
                            utility_samples=args.utility_samples,
                            trial_timeout=args.trial_timeout,
@@ -270,23 +440,29 @@ def _cmd_anonymize(args) -> int:
     if not result.success:
         print(
             f"FAILED: no (k={args.k}, eps={epsilon}) obfuscation found",
-            file=sys.stderr,
+            file=err,
         )
         return EXIT_UNSATISFIED
     write_edge_list(result.graph.dropping_zero_edges(), args.output)
-    print(json.dumps(result.summary(), indent=2))
+    # stdout is a pure function of the inputs (for a seeded run): the
+    # wall-clock fields go to stderr as a diagnostic, so a served result
+    # can be byte-compared against a one-shot run.
+    print(json.dumps(result.summary(include_timing=False), indent=2),
+          file=out)
+    print(f"timing: elapsed={result.elapsed_seconds:.2f}s "
+          f"search={result.search_seconds:.2f}s", file=err)
     return 0
 
 
-def _cmd_check(args) -> int:
+def _cmd_check(args, out, err, runtime) -> int:
     # The (k, epsilon) check itself is degree-based and never samples
     # worlds; --backend/--workers are accepted (and argparse-validated)
     # so scripted anonymize -> check -> evaluate pipelines can pass one
     # uniform flag set without failing on the degree-only stage.
-    published = _load(args.published)
+    published = runtime.load(args.published)
     knowledge = None
     if args.original:
-        knowledge = expected_degree_knowledge(_load(args.original))
+        knowledge = expected_degree_knowledge(runtime.load(args.original))
     report = check_obfuscation(published, args.k, args.epsilon,
                                knowledge=knowledge)
     print(json.dumps({
@@ -296,12 +472,12 @@ def _cmd_check(args) -> int:
         "satisfied": report.satisfied,
         "n_obfuscated": report.n_obfuscated,
         "n_nodes": int(report.obfuscated.shape[0]),
-    }, indent=2))
+    }, indent=2), file=out)
     return 0 if report.satisfied else 1
 
 
-def _cmd_evaluate(args) -> int:
-    original = _load(args.original, seed=args.seed)
+def _cmd_evaluate(args, out, err, runtime) -> int:
+    original = runtime.load(args.original, seed=args.seed)
     anonymized = read_edge_list(args.anonymized)
     comparison = compare_graphs(
         original, anonymized, n_samples=args.samples, seed=args.seed,
@@ -316,20 +492,44 @@ def _cmd_evaluate(args) -> int:
         }
         for name, c in comparison.items()
     }
-    print(json.dumps(rows, indent=2))
+    print(json.dumps(rows, indent=2), file=out)
     return 0
 
 
-def _cmd_summary(args) -> int:
-    graph = _load(args.input, seed=args.seed)
-    print(json.dumps(summarize(graph), indent=2))
+def _cmd_discrepancy(args, out, err, runtime) -> int:
+    from .reliability.worldstore import graph_delta
+
+    original = runtime.load(args.original, seed=args.seed)
+    anonymized = read_edge_list(args.anonymized)
+    # Unlike `evaluate` (which seeds its store mid-stream from the run
+    # generator), the store here is a pure function of
+    # (graph, samples, seed) -- exactly the shape a warm service can
+    # cache and clone per request without changing a single bit.
+    store = runtime.world_store(
+        original, args.samples, args.seed,
+        backend=args.backend, n_workers=args.workers,
+    )
+    view = store.derive(graph_delta(original, anonymized))
+    value = store.discrepancy(view, seed=args.seed)
+    print(json.dumps({
+        "samples": args.samples,
+        "seed": args.seed,
+        "n_dirty_worlds": int(view.n_dirty),
+        "discrepancy": value,
+    }, indent=2), file=out)
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_summary(args, out, err, runtime) -> int:
+    graph = runtime.load(args.input, seed=args.seed)
+    print(json.dumps(summarize(graph), indent=2), file=out)
+    return 0
+
+
+def _cmd_report(args, out, err, runtime) -> int:
     from .report import build_report
 
-    original = _load(args.original, seed=args.seed)
+    original = runtime.load(args.original, seed=args.seed)
     anonymized = read_edge_list(args.anonymized)
     text = build_report(
         original, anonymized, args.k, args.epsilon,
@@ -339,39 +539,43 @@ def _cmd_report(args) -> int:
         from pathlib import Path
 
         Path(args.output).write_text(text)
-        print(f"wrote report to {args.output}")
+        print(f"wrote report to {args.output}", file=out)
     else:
-        print(text)
+        print(text, file=out)
     return 0
 
 
-def _cmd_diagnose(args) -> int:
+def _cmd_diagnose(args, out, err, runtime) -> int:
     from .core import diagnose_feasibility
 
-    graph = _load(args.input)
+    graph = runtime.load(args.input)
     report = diagnose_feasibility(
         graph, args.k, args.epsilon, candidate_multiplier=args.multiplier
     )
-    print(json.dumps(report.summary(), indent=2))
+    print(json.dumps(report.summary(), indent=2), file=out)
     return 0 if report.feasible else 1
 
 
-def _cmd_sweep(args) -> int:
+def _cmd_sweep(args, out, err, runtime) -> int:
     from .core import sweep_anonymize
     from .metrics import average_reliability_discrepancy
 
-    graph = _load(args.input, seed=args.seed)
+    graph = runtime.load(args.input, seed=args.seed)
     epsilon = args.epsilon
     if epsilon is None:
         epsilon = dataset_tolerance(args.input)
+    trial_backend = args.trial_backend
+    if trial_backend == "auto":
+        trial_backend = recommended_trial_backend()
     results = sweep_anonymize(
         graph, args.k, epsilon, method=args.method, seed=args.seed,
-        n_trials=args.trials, trial_backend=args.trial_backend,
+        observer=runtime.probe_observer,
+        n_trials=args.trials, trial_backend=trial_backend,
         n_workers=args.workers,
     )
     header = f"{'k':>6} {'status':>8} {'sigma':>10} {'rel.loss':>10}"
-    print(header)
-    print("-" * len(header))
+    print(header, file=out)
+    print("-" * len(header), file=out)
     any_failed = False
     for k in args.k:
         result = results[k]
@@ -379,17 +583,111 @@ def _cmd_sweep(args) -> int:
             loss = average_reliability_discrepancy(
                 graph, result.graph, n_samples=args.samples, seed=args.seed,
             )
-            print(f"{k:>6} {'ok':>8} {result.sigma:>10.4f} {loss:>10.4f}")
+            print(f"{k:>6} {'ok':>8} {result.sigma:>10.4f} {loss:>10.4f}",
+                  file=out)
         else:
             any_failed = True
-            print(f"{k:>6} {'FAILED':>8} {'-':>10} {'-':>10}")
+            print(f"{k:>6} {'FAILED':>8} {'-':>10} {'-':>10}", file=out)
     return 1 if any_failed else 0
 
 
-def _cmd_capabilities(args) -> int:
+def _cmd_capabilities(args, out, err, runtime) -> int:
     from .core import execution_environment
 
-    print(json.dumps(execution_environment(), indent=2))
+    print(json.dumps(execution_environment(), indent=2), file=out)
+    return 0
+
+
+def _cmd_serve(args, out, err, runtime) -> int:
+    from .server.service import run_server
+
+    return run_server(args, out, err)
+
+
+def _replay_result(payload: dict, out, err) -> int:
+    """Mirror a finished job's captured output and exit code.
+
+    For a ``done`` job the replayed bytes and the returned code are
+    exactly what the equivalent one-shot invocation would have produced
+    -- the service captured them from the same command function.
+    """
+    out.write(payload.get("stdout", ""))
+    err.write(payload.get("stderr", ""))
+    state = payload.get("state")
+    if state == "done":
+        return int(payload["exit"])
+    if state == "cancelled":
+        print(f"job {payload.get('id')} was cancelled", file=err)
+        return EXIT_ERROR
+    print(f"job {payload.get('id')} failed: {payload.get('error')}",
+          file=err)
+    return EXIT_ERROR
+
+
+def _cmd_submit(args, out, err, runtime) -> int:
+    from .server.client import ServiceClient, resolve_endpoint
+
+    argv = list(args.job)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        raise ServerError(
+            "submit needs a subcommand after '--', e.g. "
+            "chameleon submit -- summary ppi --seed 1"
+        )
+    client = ServiceClient(*resolve_endpoint(args))
+    reply = client.request({
+        "op": "submit", "argv": argv, "wait": bool(args.wait),
+    })
+    if args.wait:
+        return _replay_result(reply["result"], out, err)
+    print(json.dumps({"job": reply["job"], "state": reply["state"]},
+                     indent=2), file=out)
+    return 0
+
+
+def _cmd_status(args, out, err, runtime) -> int:
+    from .server.client import ServiceClient, resolve_endpoint
+
+    client = ServiceClient(*resolve_endpoint(args))
+    reply = client.request({"op": "status", "job": args.job_id})
+    print(json.dumps(reply["job"], indent=2), file=out)
+    return 0
+
+
+def _cmd_result(args, out, err, runtime) -> int:
+    from .server.client import ServiceClient, resolve_endpoint
+
+    client = ServiceClient(*resolve_endpoint(args))
+    reply = client.request({"op": "result", "job": args.job_id,
+                            "wait": True})
+    return _replay_result(reply["result"], out, err)
+
+
+def _cmd_cancel(args, out, err, runtime) -> int:
+    from .server.client import ServiceClient, resolve_endpoint
+
+    client = ServiceClient(*resolve_endpoint(args))
+    reply = client.request({"op": "cancel", "job": args.job_id})
+    print(json.dumps(reply["job"], indent=2), file=out)
+    return 0
+
+
+def _cmd_stats(args, out, err, runtime) -> int:
+    from .server.client import ServiceClient, resolve_endpoint
+
+    client = ServiceClient(*resolve_endpoint(args))
+    reply = client.request({"op": "stats"})
+    print(json.dumps(reply["stats"], indent=2), file=out)
+    return 0
+
+
+def _cmd_shutdown(args, out, err, runtime) -> int:
+    from .server.client import ServiceClient, resolve_endpoint
+
+    client = ServiceClient(*resolve_endpoint(args))
+    client.request({"op": "shutdown"})
+    print("shutdown requested", file=out)
     return 0
 
 
@@ -398,12 +696,53 @@ _COMMANDS = {
     "anonymize": _cmd_anonymize,
     "check": _cmd_check,
     "evaluate": _cmd_evaluate,
+    "discrepancy": _cmd_discrepancy,
     "summary": _cmd_summary,
     "report": _cmd_report,
     "diagnose": _cmd_diagnose,
     "sweep": _cmd_sweep,
     "capabilities": _cmd_capabilities,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "result": _cmd_result,
+    "cancel": _cmd_cancel,
+    "stats": _cmd_stats,
+    "shutdown": _cmd_shutdown,
 }
+
+
+def _dispatch(args, out, err, runtime, passthrough=()) -> int:
+    """Run one parsed subcommand through the error-to-exit-code ladder.
+
+    ``passthrough`` lists exception types that must escape untranslated;
+    the service passes its cancellation signal here so a cancelled job
+    is not misreported as an internal error.  ``BrokenPipeError`` always
+    escapes -- only :func:`main`, which owns the real stdio, can decide
+    what a vanished consumer means.
+    """
+    try:
+        return _COMMANDS[args.command](args, out, err, runtime)
+    except BrokenPipeError:
+        raise
+    except passthrough:
+        raise
+    except ResilienceError as exc:
+        # Before the generic handler: ResilienceError is a ReproError,
+        # but "every recovery option failed" (timeouts exhausted, ladder
+        # walked to the end, unresumable checkpoint) deserves its own
+        # exit code so schedulers can distinguish it from bad input.
+        print(f"resilience error: {exc}", file=err)
+        return EXIT_RESILIENCE
+    except ReproError as exc:
+        print(f"error: {exc}", file=err)
+        return EXIT_ERROR
+    except Exception:  # noqa: BLE001 -- last-resort boundary: anything
+        # escaping here is a bug, reported as such with its traceback.
+        traceback.print_exc(file=err)
+        print("internal error (this is a bug; traceback above)",
+              file=err)
+        return EXIT_INTERNAL
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -411,23 +750,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
-    except ResilienceError as exc:
-        # Before the generic handler: ResilienceError is a ReproError,
-        # but "every recovery option failed" (timeouts exhausted, ladder
-        # walked to the end, unresumable checkpoint) deserves its own
-        # exit code so schedulers can distinguish it from bad input.
-        print(f"resilience error: {exc}", file=sys.stderr)
-        return EXIT_RESILIENCE
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_ERROR
-    except Exception:  # noqa: BLE001 -- last-resort boundary: anything
-        # escaping here is a bug, reported as such with its traceback.
-        traceback.print_exc()
-        print("internal error (this is a bug; traceback above)",
-              file=sys.stderr)
-        return EXIT_INTERNAL
+        return _dispatch(args, sys.stdout, sys.stderr, CommandRuntime())
+    except BrokenPipeError:
+        # The consumer went away mid-write (`chameleon ... | head`).
+        # Not a bug: exit with the conventional 128 + SIGPIPE status,
+        # and point stdout's fd at /dev/null so the interpreter's
+        # shutdown flush cannot raise a second time.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+            os.close(devnull)
+        except (OSError, ValueError, io.UnsupportedOperation):
+            pass  # stdout is not a real fd (captured in tests)
+        return EXIT_SIGPIPE
 
 
 if __name__ == "__main__":

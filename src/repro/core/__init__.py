@@ -23,6 +23,7 @@ from .diagnostics import (
     FeasibilityReport,
     diagnose_feasibility,
     execution_environment,
+    recommended_trial_backend,
 )
 from .refine import RefinementStats, refine_anonymization
 from .sweep import sweep_anonymize
@@ -87,6 +88,7 @@ __all__ = [
     "FeasibilityReport",
     "diagnose_feasibility",
     "execution_environment",
+    "recommended_trial_backend",
     "RefinementStats",
     "refine_anonymization",
     "sweep_anonymize",

@@ -27,6 +27,7 @@ import time
 import numpy as np
 
 from .._rng import as_generator
+from ..exceptions import ObfuscationError
 from ..privacy.degree_distribution import expected_degree_knowledge
 from ..privacy.incremental import DegreeUncertaintyCache
 from ..reliability.worldstore import (
@@ -76,6 +77,9 @@ class Chameleon:
         graph: UncertainGraph,
         knowledge: np.ndarray | None = None,
         seed=None,
+        *,
+        degree_cache: DegreeUncertaintyCache | None = None,
+        observer=None,
     ) -> AnonymizationResult:
         """Run the full Algorithm 1 search on ``graph``.
 
@@ -88,6 +92,20 @@ class Chameleon:
             degrees of ``graph`` (the paper's attack model).
         seed:
             Overrides ``config.seed`` for this run.
+        degree_cache:
+            Pre-built :class:`DegreeUncertaintyCache` for ``graph`` (only
+            consulted when ``config.obfuscation_checker`` is
+            ``"incremental"``).  Building the cache is the O(n * d^2)
+            dynamic program a warm service wants to pay once per dataset;
+            the cache's output is bit-identical to an internally built
+            one, so reuse cannot change results.  It must describe this
+            exact graph and knowledge vector -- anything else raises.
+        observer:
+            Optional callable receiving a progress event dict after every
+            sigma probe (``{"type": "probe", "probe": i, "sigma": ...,
+            "epsilon_achieved": ..., "success": ...}``).  Exceptions it
+            raises propagate, which is how a service cancels a running
+            job at a probe boundary.
 
         Returns an :class:`AnonymizationResult`; ``result.success`` is
         False only when even ``sigma_max`` noise cannot reach the target.
@@ -108,11 +126,21 @@ class Chameleon:
         trial_entropy = int(rng.integers(0, 2**63 - 1))
         # One degree-pmf cache serves every GenObf trial of every sigma
         # probe: all candidates are deltas against the same base graph.
-        cache = (
-            DegreeUncertaintyCache(graph, knowledge=context.knowledge)
-            if config.obfuscation_checker == "incremental"
-            else None
-        )
+        cache: DegreeUncertaintyCache | None = None
+        if config.obfuscation_checker == "incremental":
+            if degree_cache is not None:
+                if degree_cache.graph is not graph or not np.array_equal(
+                    degree_cache.knowledge, context.knowledge
+                ):
+                    raise ObfuscationError(
+                        "degree_cache was built for a different graph or "
+                        "knowledge vector than this run's"
+                    )
+                cache = degree_cache
+            else:
+                cache = DegreeUncertaintyCache(
+                    graph, knowledge=context.knowledge
+                )
         history: list[tuple[float, float]] = []
         calls = 0
 
@@ -175,6 +203,14 @@ class Chameleon:
                 outcome.sigma, outcome.epsilon_achieved,
                 "ok" if outcome.success else "fail",
             )
+            if observer is not None:
+                observer({
+                    "type": "probe",
+                    "probe": probe_index,
+                    "sigma": float(outcome.sigma),
+                    "epsilon_achieved": float(outcome.epsilon_achieved),
+                    "success": bool(outcome.success),
+                })
             return outcome
 
         # Phase 1 -- exponential bracketing (Algorithm 1, lines 1-5),
@@ -328,6 +364,8 @@ def anonymize(
     epsilon: float,
     method: str = "rsme",
     seed=None,
+    degree_cache: DegreeUncertaintyCache | None = None,
+    observer=None,
     **config_overrides,
 ) -> AnonymizationResult:
     """One-call anonymization with a named Chameleon variant.
@@ -343,10 +381,15 @@ def anonymize(
         the Rep-An baseline see :func:`repro.baselines.rep_an`.
     seed:
         Reproducibility seed.
+    degree_cache, observer:
+        Passed through to :meth:`Chameleon.anonymize` (warm checker
+        state and per-probe progress events).
     config_overrides:
         Any other :class:`ChameleonConfig` field.
     """
     config = variant_config(
         method, k=k, epsilon=epsilon, seed=None, **config_overrides
     )
-    return Chameleon(config).anonymize(graph, seed=seed)
+    return Chameleon(config).anonymize(
+        graph, seed=seed, degree_cache=degree_cache, observer=observer
+    )

@@ -43,6 +43,7 @@ __all__ = [
     "FeasibilityReport",
     "diagnose_feasibility",
     "execution_environment",
+    "recommended_trial_backend",
 ]
 
 #: Environment variables that change repro's execution behavior.
@@ -89,6 +90,29 @@ def execution_environment() -> dict:
             "orphans_failed": reaped["failed"],
         },
     }
+
+
+def recommended_trial_backend(environment: dict | None = None) -> str:
+    """Resolve ``--trial-backend auto`` to a concrete engine choice.
+
+    The mapping is a pure function of the capability report, so a CLI
+    one-shot and a service job on the same host resolve identically --
+    which is what keeps ``auto`` inside the bit-identity contract (the
+    chosen backend is echoed in result summaries).
+
+    * one usable CPU: ``serial`` (pools only add overhead);
+    * compiled (numba) kernels: ``thread`` -- trials release the GIL in
+      the kernels, and threads skip process start-up and shared-memory
+      publication;
+    * otherwise: ``process`` (pure-NumPy trials need real parallelism).
+    """
+    env = environment if environment is not None else execution_environment()
+    caps = env.get("kernels", {})
+    if int(caps.get("usable_cpus", 1)) <= 1:
+        return "serial"
+    if caps.get("backend") == "numba":
+        return "thread"
+    return "process"
 
 
 @dataclass(frozen=True)

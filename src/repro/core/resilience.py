@@ -57,6 +57,7 @@ __all__ = [
     "DEGRADATION_LADDER",
     "RETRYABLE_EXCEPTIONS",
     "RetryPolicy",
+    "update_graph_digest",
     "run_fingerprint",
     "SigmaSearchJournal",
     "SupervisedTrialEngine",
@@ -118,6 +119,20 @@ class RetryPolicy:
         return self.backoff_seconds * (2.0 ** (max(0, attempt - 1)))
 
 
+def update_graph_digest(digest, graph) -> None:
+    """Feed a graph's result-determining arrays into a hash object.
+
+    The node count plus the raw edge arrays (endpoints and
+    probabilities, in stored order) pin down everything a deterministic
+    run derives from the graph.  Shared by the checkpoint-journal
+    fingerprint below and the anonymization service's dataset / result
+    cache keys, so "same graph" means the same thing everywhere.
+    """
+    digest.update(np.int64(graph.n_nodes).tobytes())
+    for arr in (graph.edge_src, graph.edge_dst, graph.edge_probabilities):
+        digest.update(np.ascontiguousarray(arr).tobytes())
+
+
 def run_fingerprint(graph, config, context, entropy: int) -> str:
     """Digest of everything that determines the sigma search's results.
 
@@ -130,9 +145,7 @@ def run_fingerprint(graph, config, context, entropy: int) -> str:
     backend.
     """
     digest = hashlib.sha256()
-    digest.update(np.int64(graph.n_nodes).tobytes())
-    for arr in (graph.edge_src, graph.edge_dst, graph.edge_probabilities):
-        digest.update(np.ascontiguousarray(arr).tobytes())
+    update_graph_digest(digest, graph)
     for arr in (context.uniqueness, context.vertex_relevance,
                 context.excluded, context.weights, context.knowledge):
         digest.update(np.ascontiguousarray(arr).tobytes())

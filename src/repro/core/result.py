@@ -150,9 +150,16 @@ class AnonymizationResult:
             return float("nan")
         return probability_l1_distance(original, self.graph)
 
-    def summary(self) -> dict:
-        """Plain-dict summary for logging / JSON serialization."""
-        return {
+    def summary(self, include_timing: bool = True) -> dict:
+        """Plain-dict summary for logging / JSON serialization.
+
+        With ``include_timing=False`` the wall-clock fields are omitted
+        and the summary becomes a pure function of the run's inputs --
+        the shape the CLI prints to stdout, so a seeded run's output is
+        byte-reproducible (and a served result can be byte-compared to a
+        one-shot run).
+        """
+        payload = {
             "method": self.method,
             "k": self.k,
             "epsilon": self.epsilon,
@@ -160,15 +167,17 @@ class AnonymizationResult:
             "sigma": self.sigma,
             "epsilon_achieved": self.epsilon_achieved,
             "n_genobf_calls": self.n_genobf_calls,
-            "elapsed_seconds": self.elapsed_seconds,
             "trial_backend": self.trial_backend,
             "trial_workers": self.trial_workers,
-            "search_seconds": self.search_seconds,
             "utility_discrepancy": self.utility_discrepancy,
             "degradations": [d.summary() for d in self.degradations],
             "trial_retries": self.trial_retries,
             "resumed_probes": self.resumed_probes,
         }
+        if include_timing:
+            payload["elapsed_seconds"] = self.elapsed_seconds
+            payload["search_seconds"] = self.search_seconds
+        return payload
 
     def __repr__(self) -> str:
         status = "ok" if self.success else "FAILED"

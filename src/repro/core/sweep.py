@@ -100,6 +100,7 @@ def sweep_anonymize(
     epsilon: float,
     method: str = "rsme",
     seed=None,
+    observer=None,
     **config_overrides,
 ) -> dict[int, AnonymizationResult]:
     """Anonymize one graph at several privacy levels, sharing context.
@@ -114,6 +115,11 @@ def sweep_anonymize(
         Shared tolerance.
     method:
         Chameleon variant name.
+    observer:
+        Optional callable receiving ``{"type": "k_done", "k": k,
+        "index": i, "total": len(ks), "success": ...}`` after each
+        completed privacy level; exceptions it raises propagate (a
+        service's cancellation hook).
     config_overrides:
         Forwarded to :func:`variant_config`.
 
@@ -155,7 +161,7 @@ def sweep_anonymize(
         RetryPolicy.from_config(base_config),
     )
     try:
-        for k in ks:
+        for index, k in enumerate(ks):
             config = base_config.with_privacy(k, epsilon)
             engine.set_privacy(k, epsilon)
             started = time.perf_counter()
@@ -177,6 +183,14 @@ def sweep_anonymize(
                     report=best.report, n_genobf_calls=calls,
                     sigma_history=tuple(history), elapsed_seconds=elapsed,
                 )
+            if observer is not None:
+                observer({
+                    "type": "k_done",
+                    "k": k,
+                    "index": index,
+                    "total": len(ks),
+                    "success": results[k].success,
+                })
     finally:
         engine.close()
     return results

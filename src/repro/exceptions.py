@@ -76,6 +76,16 @@ class TrialTimeoutError(ResilienceError):
     """
 
 
+class ServerError(ReproError):
+    """Raised by the anonymization service and its client.
+
+    Covers protocol-level failures: the server is unreachable, a request
+    names an unknown operation or job, the bounded job queue is full, or
+    a submitted subcommand is not servable.  Maps to the CLI's library
+    exit code (2), like any other bad-input error.
+    """
+
+
 class InjectedFault(ReproError):
     """Raised (or simulated) by the deterministic fault-injection harness.
 

@@ -30,6 +30,8 @@ estimator produces.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from .. import kernels
@@ -246,6 +248,50 @@ class WorldStore:
                 )
             store._labels = labels
         return store
+
+    def clone(self) -> "WorldStore":
+        """An independent store, bitwise-indistinguishable from this one.
+
+        ``derive`` mutates the store: column growth appends to the edge
+        universe and draws fresh uniforms from the store's generator *in
+        arrival order*, so two runs that derive different candidates
+        leave the store in different states.  A long-lived service
+        therefore never derives on its warm store directly -- it hands
+        each job a clone, so the expensive base state (uniform draws,
+        world labels, pair accumulators) is paid once while per-job
+        growth never leaks back.  A clone of a pristine store behaves
+        exactly like a freshly built store with the same
+        ``(graph, n_samples, seed)``: the generator state is deep-copied,
+        so subsequent draws consume the same stream.
+
+        The base caches (masks, labels, counts) are shared by reference:
+        column growth rebinds them via concatenation rather than writing
+        in place, so sharing is safe and keeps clones cheap.  Only the
+        uniform buffer is copied -- growth writes new draws into its
+        spare capacity in place.
+        """
+        twin = object.__new__(WorldStore)
+        twin._graph = self._graph
+        twin._n_samples = self._n_samples
+        twin._rng = copy.deepcopy(self._rng)
+        twin._backend = self._backend
+        twin._n_workers = self._n_workers
+        twin._antithetic = self._antithetic
+        twin._src = self._src
+        twin._dst = self._dst
+        twin._prob = self._prob
+        twin._col_index = dict(self._col_index)
+        twin._has_uniforms = self._has_uniforms
+        twin._uniforms = (
+            None if self._uniforms is None else self._uniforms.copy()
+        )
+        twin._masks = self._masks
+        twin._labels = self._labels
+        twin._pair_counts = self._pair_counts
+        twin._pair_acc = self._pair_acc
+        twin._pairwise = self._pairwise
+        twin._pair_equal_cache = self._pair_equal_cache
+        return twin
 
     # -- base-world caches --------------------------------------------- #
 

@@ -1,0 +1,54 @@
+"""The warm anonymization service (``chameleon serve``).
+
+A long-lived process that loads each dataset once and keeps the
+expensive per-dataset state warm between requests -- the parsed graph,
+the degree-uncertainty dynamic program, and CRN world stores -- while
+serving ``anonymize`` / ``check`` / ``evaluate`` / ``discrepancy`` /
+``sweep`` (and the other one-shot subcommands) concurrently over a local
+JSON-lines TCP API.
+
+The load-bearing guarantee: **a served result is byte-identical to the
+equivalent one-shot CLI run.**  It holds by construction, not by
+testing alone -- the service executes the exact same command functions
+through the :class:`repro.cli.CommandRuntime` boundary, and warm state
+is only ever injected as clones that are bitwise-indistinguishable from
+freshly built objects (:meth:`DegreeUncertaintyCache.clone`,
+:meth:`WorldStore.clone`).  Deterministic jobs are memoized in a result
+cache keyed by a sha256 fingerprint of the parsed arguments and input
+file contents, so a repeated request replays recorded bytes instead of
+re-running the sigma search.
+
+Modules
+-------
+``service``      the asyncio server and job executor
+``registry``     warm datasets and their derived caches (LRU)
+``jobs``         job state machine, bounded queue, cancellation
+``cache``        byte-exact result cache
+``fingerprint``  cacheability analysis and job fingerprints
+``client``       blocking JSON-lines client (used by the CLI)
+"""
+
+from .cache import CachedResult, ResultCache
+from .client import ServiceClient, resolve_endpoint
+from .fingerprint import CACHEABLE_COMMANDS, OUTPUT_FIELDS, job_fingerprint
+from .jobs import JOB_STATES, Job, JobCancelled, JobQueue
+from .registry import DatasetRegistry
+from .service import SERVABLE_COMMANDS, ChameleonService, run_server
+
+__all__ = [
+    "CachedResult",
+    "ResultCache",
+    "ServiceClient",
+    "resolve_endpoint",
+    "CACHEABLE_COMMANDS",
+    "OUTPUT_FIELDS",
+    "job_fingerprint",
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "DatasetRegistry",
+    "SERVABLE_COMMANDS",
+    "ChameleonService",
+    "run_server",
+]

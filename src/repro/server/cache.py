@@ -1,0 +1,86 @@
+"""Result cache: byte-exact replay of completed deterministic jobs.
+
+An entry stores everything a job externalized -- exit code, stdout and
+stderr text, and the bytes of every file it wrote -- keyed by the job
+fingerprint (:func:`repro.server.fingerprint.job_fingerprint`).  A cache
+hit re-emits all of it: the output files are rewritten (the fingerprint
+pins their paths, so a replay lands exactly where the original run
+wrote) and the captured streams are returned verbatim.  Nothing is
+recomputed, which is the whole point: the second identical ``anonymize``
+request skips the sigma search entirely yet remains bit-identical to a
+fresh run.
+
+Only conclusive exits are cached (0: success, 1: goal not met -- both
+deterministic outcomes of the inputs).  Error exits are never cached;
+they may reflect transient conditions (a file deleted mid-run) that the
+next attempt should re-observe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["CachedResult", "ResultCache"]
+
+#: Exit codes whose results are deterministic outcomes worth caching.
+_CACHEABLE_EXITS = (0, 1)
+
+
+@dataclass
+class CachedResult:
+    """Everything a finished job externalized."""
+
+    exit_code: int
+    stdout: str
+    stderr: str
+    #: path -> file bytes, for every output file the job wrote.
+    files: dict[str, bytes] = field(default_factory=dict)
+
+    def replay(self) -> None:
+        """Rewrite the cached output files (streams are the caller's)."""
+        for path, data in self.files.items():
+            Path(path).write_bytes(data)
+
+
+class ResultCache:
+    """LRU map of job fingerprint -> :class:`CachedResult`."""
+
+    def __init__(self, max_entries: int = 128):
+        self._max = int(max_entries)
+        self._entries: OrderedDict[str, CachedResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> CachedResult | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: str, result: CachedResult) -> bool:
+        """Store a finished job's result; returns False when ineligible."""
+        if result.exit_code not in _CACHEABLE_EXITS:
+            return False
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+        return True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max,
+                "hits": self._hits,
+                "misses": self._misses,
+            }

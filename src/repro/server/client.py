@@ -1,0 +1,78 @@
+"""Blocking JSON-lines client for the anonymization service.
+
+One request per call: connect, send a single JSON object on one line,
+read the single-line JSON reply.  Waiting operations (``submit`` with
+``wait``, ``result``) simply keep the connection open until the server
+answers -- the server only responds once the job has finished, so the
+client needs no polling loop.
+
+Every transport or protocol failure is raised as
+:class:`repro.exceptions.ServerError`, which the CLI maps to its
+library-error exit code (2).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+
+from ..exceptions import ServerError
+
+__all__ = ["ServiceClient", "resolve_endpoint"]
+
+#: Generous ceiling for waiting operations; transport stalls beyond this
+#: indicate a dead server, not a slow job.
+_DEFAULT_TIMEOUT = 3600.0
+
+
+def resolve_endpoint(args) -> tuple[str, int]:
+    """``(host, port)`` from ``--port`` / ``--port-file`` flags."""
+    if args.port is not None:
+        return args.host, int(args.port)
+    if args.port_file:
+        try:
+            text = Path(args.port_file).read_text().strip()
+            return args.host, int(text)
+        except (OSError, ValueError) as exc:
+            raise ServerError(
+                f"cannot read service port from {args.port_file!r}: {exc}"
+            ) from exc
+    raise ServerError("no service endpoint: pass --port or --port-file")
+
+
+class ServiceClient:
+    """Minimal synchronous client (one JSON-lines request per call)."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = _DEFAULT_TIMEOUT):
+        self._host = host
+        self._port = int(port)
+        self._timeout = timeout
+
+    def request(self, payload: dict) -> dict:
+        """Send one request; return the reply, raising on ``ok: false``."""
+        try:
+            with socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            ) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(json.dumps(payload).encode() + b"\n")
+                stream.flush()
+                line = stream.readline()
+        except OSError as exc:
+            raise ServerError(
+                f"cannot reach service at {self._host}:{self._port}: {exc}"
+            ) from exc
+        if not line:
+            raise ServerError(
+                f"service at {self._host}:{self._port} closed the "
+                "connection without replying"
+            )
+        try:
+            reply = json.loads(line)
+        except ValueError as exc:
+            raise ServerError(f"malformed service reply: {exc}") from exc
+        if not reply.get("ok"):
+            raise ServerError(reply.get("error", "unknown service error"))
+        return reply

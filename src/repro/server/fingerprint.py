@@ -1,0 +1,100 @@
+"""Result-cache fingerprints for service jobs.
+
+A job is cacheable when its outcome is a pure function of its parsed
+arguments and input file contents.  The fingerprint captures exactly
+that closure:
+
+* the subcommand name and **every** parsed argument (defaults
+  materialized by argparse, output paths included -- some commands echo
+  them on stdout, so two requests differing only in the output path must
+  not share a cache entry);
+* a sha256 digest of each graph-input *file* (editing the file
+  invalidates the entry), mirroring how
+  :class:`repro.core.resilience.SigmaSearchJournal` fingerprints its
+  graph -- content, never path identity;
+* profile-name inputs are keyed by name; they are only admitted when
+  the command loads them with the job's integer ``--seed`` (a seeded
+  profile is deterministic, an unseeded one is fresh entropy per load).
+
+Jobs that draw OS entropy (any relevant ``--seed`` left at None) or
+depend on ambient state (``capabilities``) fingerprint to None and
+bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["job_fingerprint", "CACHEABLE_COMMANDS", "OUTPUT_FIELDS"]
+
+#: Graph-input argument fields per command, each tagged with whether the
+#: command forwards the job's ``--seed`` when loading that source (which
+#: is what makes a *profile* source deterministic).
+_INPUT_FIELDS: dict[str, tuple[tuple[str, bool], ...]] = {
+    "generate": (("profile", True),),
+    "anonymize": (("input", True),),
+    "check": (("published", False), ("original", False)),
+    "evaluate": (("original", True), ("anonymized", False)),
+    "discrepancy": (("original", True), ("anonymized", False)),
+    "summary": (("input", True),),
+    "report": (("original", True), ("anonymized", False)),
+    "diagnose": (("input", False),),
+    "sweep": (("input", True),),
+}
+
+#: Commands whose results may be cached at all.
+CACHEABLE_COMMANDS = frozenset(_INPUT_FIELDS)
+
+#: Argument fields naming files a command *writes*; their bytes are part
+#: of the cached result so a replay can rewrite them.
+OUTPUT_FIELDS: dict[str, tuple[str, ...]] = {
+    "generate": ("output",),
+    "anonymize": ("output",),
+    "report": ("output",),
+}
+
+
+def job_fingerprint(args) -> str | None:
+    """sha256 hex key of a parsed job, or None when not cacheable.
+
+    ``args`` is the argparse namespace the job will execute with (the
+    same object, so defaults and types match the execution exactly).
+    """
+    command = args.command
+    if command not in _INPUT_FIELDS:
+        return None
+    if getattr(args, "seed", 0) is None:
+        # The run draws OS entropy somewhere; identical requests need
+        # not produce identical results, so caching would be a lie.
+        return None
+    digests: dict[str, str] = {}
+    for field, seeded in _INPUT_FIELDS[command]:
+        source = getattr(args, field, None)
+        if source is None:
+            continue
+        path = Path(source)
+        if path.is_file():
+            digests[field] = hashlib.sha256(path.read_bytes()).hexdigest()
+        elif seeded:
+            # Profile generation is a pure function of (name, scale,
+            # seed); scale and seed are already in the args payload.
+            digests[field] = f"profile:{str(source).lower()}"
+        else:
+            # A profile loaded without a seed (or a path that does not
+            # exist yet): not reproducible from the fingerprint.
+            return None
+    payload = {
+        "command": command,
+        # Input fields are identified by their *content* digest, never
+        # their path: the same bytes under another name share an entry.
+        "args": {
+            dest: value for dest, value in sorted(vars(args).items())
+            if dest != "command" and dest not in digests
+        },
+        "inputs": digests,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=repr).encode()
+    ).hexdigest()

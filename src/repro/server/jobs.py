@@ -1,0 +1,153 @@
+"""Job lifecycle for the anonymization service.
+
+A :class:`Job` is one submitted subcommand: its argv, its state machine
+(``queued -> running -> done | failed | cancelled``), the bytes it wrote
+to stdout/stderr, and the progress events the sigma search reported.
+Jobs execute on a thread pool, so every mutable field is guarded by the
+job's lock and exposed through :meth:`Job.snapshot` -- the JSON shape
+every protocol response uses.
+
+Cancellation is cooperative: :meth:`Job.cancel` sets a flag that the
+job's progress observer checks at each probe / sweep boundary, raising
+:class:`JobCancelled` into the command function.  A job that never
+reports progress (``summary``, ``check``) can only be cancelled while
+still queued.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+from ..exceptions import ServerError
+
+__all__ = ["Job", "JobCancelled", "JobQueue", "JOB_STATES"]
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Progress events kept per job (older ones are dropped from snapshots).
+_EVENT_TAIL = 50
+
+
+class JobCancelled(Exception):
+    """Control-flow signal: a job observed its cancellation flag.
+
+    Raised by the job's progress observer *inside* the command function
+    and passed through the CLI dispatch ladder untranslated (see
+    ``_dispatch``'s ``passthrough``), so a cancelled job is recorded as
+    ``cancelled`` rather than misreported as an internal error.
+    """
+
+
+class Job:
+    """One submitted subcommand and everything it produced."""
+
+    def __init__(self, job_id: str, argv: list[str]):
+        self.id = job_id
+        self.argv = list(argv)
+        self.state = "queued"
+        self.exit_code: int | None = None
+        self.stdout = ""
+        self.stderr = ""
+        self.error: str | None = None
+        self.cached = False
+        self.fingerprint: str | None = None
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._events: list[dict] = []
+        self._n_events = 0
+        self._cancel = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- mutation (called from the executor thread) -------------------- #
+
+    def record_event(self, event: dict) -> None:
+        with self._lock:
+            self._n_events += 1
+            self._events.append(dict(event))
+            if len(self._events) > _EVENT_TAIL:
+                del self._events[0]
+
+    def cancel(self) -> None:
+        self._cancel.set()
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    # -- inspection ----------------------------------------------------- #
+
+    def snapshot(self, with_output: bool = False) -> dict:
+        """JSON-ready view of the job (protocol response shape)."""
+        with self._lock:
+            payload = {
+                "id": self.id,
+                "argv": self.argv,
+                "state": self.state,
+                "exit": self.exit_code,
+                "cached": self.cached,
+                "error": self.error,
+                "fingerprint": self.fingerprint,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "n_events": self._n_events,
+                "events": list(self._events),
+            }
+            if with_output:
+                payload["stdout"] = self.stdout
+                payload["stderr"] = self.stderr
+        return payload
+
+
+class JobQueue:
+    """Bounded registry of every job the service has accepted.
+
+    The bound counts *unfinished* jobs (queued + running): completed
+    jobs stay inspectable without blocking new submissions.  A full
+    queue rejects with :class:`repro.exceptions.ServerError`, which the
+    protocol maps to an error response -- backpressure, not a crash.
+    """
+
+    def __init__(self, max_pending: int = 16):
+        self._max_pending = int(max_pending)
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def submit(self, argv: list[str]) -> Job:
+        with self._lock:
+            pending = sum(
+                1 for job in self._jobs.values()
+                if job.state in ("queued", "running")
+            )
+            if pending >= self._max_pending:
+                raise ServerError(
+                    f"job queue is full ({pending} pending, "
+                    f"max {self._max_pending}); retry later"
+                )
+            job = Job(f"j{next(self._ids)}", argv)
+            self._jobs[job.id] = job
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServerError(f"unknown job id {job_id!r}")
+        return job
+
+    def all_jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def stats(self) -> dict:
+        counts = dict.fromkeys(JOB_STATES, 0)
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        counts["depth"] = counts["queued"] + counts["running"]
+        counts["max_pending"] = self._max_pending
+        return counts

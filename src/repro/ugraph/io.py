@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from ..exceptions import GraphFormatError
+from ..exceptions import GraphConstructionError, GraphFormatError
 from .builder import UncertainGraphBuilder
 from .graph import UncertainGraph
 
@@ -55,7 +55,11 @@ def loads_edge_list(text: str, default_probability: float = 1.0) -> UncertainGra
             ) from exc
         try:
             builder.add_edge(u, v, p, on_duplicate="error")
-        except Exception as exc:
+        except GraphConstructionError as exc:
+            # Only *validation* failures (bad probability, self-loop,
+            # duplicate edge) are parse errors of the input file; a
+            # TypeError or the like from a broken builder is a bug and
+            # must propagate as one.
             raise GraphFormatError(f"line {lineno}: {exc}") from exc
     return builder.build()
 

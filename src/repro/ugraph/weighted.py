@@ -224,7 +224,10 @@ def loads_weighted_edge_list(text: str) -> WeightedUncertainGraph:
             raise GraphFormatError(f"line {lineno}: {exc}") from exc
         try:
             builder.add_edge(u, v, p)
-        except Exception as exc:
+        except GraphConstructionError as exc:
+            # Validation failures are parse errors of the input file;
+            # genuine programming errors (TypeError from a bad builder)
+            # must propagate instead of masquerading as bad data.
             raise GraphFormatError(f"line {lineno}: {exc}") from exc
         iu, iv = builder.node_id(u), builder.node_id(v)
         key = (iu, iv) if iu < iv else (iv, iu)

@@ -361,3 +361,16 @@ def test_evaluate_backend_equivalence(tmp_path, capsys):
         assert code == 0
         outputs.append(json.loads(capsys.readouterr().out))
     assert outputs[0] == outputs[1]
+
+
+def test_broken_pipe_exits_141(monkeypatch, capsys):
+    """A vanished consumer (`chameleon ... | head`) is the conventional
+    128 + SIGPIPE exit, not the internal-error exit 4."""
+    from repro import cli
+
+    def raiser(args, out, err, runtime):
+        raise BrokenPipeError
+
+    monkeypatch.setitem(cli._COMMANDS, "capabilities", raiser)
+    assert cli.main(["capabilities"]) == 141
+    assert "internal error" not in capsys.readouterr().err

@@ -93,3 +93,28 @@ def test_json_rejects_foreign_documents(tmp_path):
     path.write_text('{"format": "something-else"}')
     with pytest.raises(GraphFormatError):
         read_json(path)
+
+
+def test_builder_bugs_are_not_parse_errors(monkeypatch):
+    """Only validation failures become GraphFormatError; a programming
+    error from the builder (wrong types, broken invariant) must escape
+    as itself instead of masquerading as a bad input file."""
+    from repro.ugraph import builder as builder_module
+
+    def broken(self, *args, **kwargs):
+        raise TypeError("builder bug")
+
+    monkeypatch.setattr(
+        builder_module.UncertainGraphBuilder, "add_edge", broken
+    )
+    with pytest.raises(TypeError, match="builder bug"):
+        loads_edge_list("a b 0.5")
+
+
+def test_validation_failures_still_map_to_format_error():
+    with pytest.raises(GraphFormatError, match="line 1"):
+        loads_edge_list("a a 0.5")  # self-loop
+    with pytest.raises(GraphFormatError, match="line 2"):
+        loads_edge_list("a b 0.5\na b 0.6")  # duplicate
+    with pytest.raises(GraphFormatError, match="line 1"):
+        loads_edge_list("a b 1.5")  # invalid probability

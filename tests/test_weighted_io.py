@@ -66,3 +66,23 @@ def test_rejects_negative_weight():
 def test_duplicate_edges_rejected():
     with pytest.raises(GraphFormatError):
         loads_weighted_edge_list("a b 0.5 1.0\nb a 0.6 2.0")
+
+
+def test_builder_bugs_are_not_parse_errors(monkeypatch):
+    """A TypeError out of the builder is a bug, not bad data: it must
+    propagate instead of being rewritten as GraphFormatError."""
+    from repro.ugraph import builder as builder_module
+
+    def broken(self, *args, **kwargs):
+        raise TypeError("builder bug")
+
+    monkeypatch.setattr(
+        builder_module.UncertainGraphBuilder, "add_edge", broken
+    )
+    with pytest.raises(TypeError, match="builder bug"):
+        loads_weighted_edge_list("a b 0.5 1.0")
+
+
+def test_self_loop_still_maps_to_format_error():
+    with pytest.raises(GraphFormatError, match="line 1"):
+        loads_weighted_edge_list("a a 0.5 1.0")
