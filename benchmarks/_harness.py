@@ -82,6 +82,9 @@ def environment_block() -> str:
         f"version: {kernels['numba_version']})",
         f"  usable cpus: {kernels['usable_cpus']}",
     ]
+    peak = env["memory"]["peak_rss_bytes"]
+    if peak is not None:
+        lines.append(f"  peak rss: {peak / 1024**2:.1f} MiB")
     if env["env"]:
         knobs = ", ".join(f"{k}={v}" for k, v in sorted(env["env"].items()))
         lines.append(f"  repro env: {knobs}")
@@ -134,18 +137,55 @@ def kernel_comparison(work_fn, repeats: int = 1):
     return rows, note, outputs
 
 
-def emit(bench_name: str, text: str) -> None:
+def emit(bench_name: str, text: str, data: dict | None = None) -> None:
     """Print a result table to the real stdout and archive it.
 
-    The archived file carries the execution-environment footer so
-    numbers are never read without the backend/CPU context that
-    produced them.
+    The archived text file carries the execution-environment footer so
+    numbers are never read without the backend/CPU context that produced
+    them.  When ``data`` is given, a machine-readable twin
+    ``BENCH_<name>.json`` is archived next to the text file -- the
+    per-case timings/speedups plus the structured environment report and
+    peak RSS -- so the perf trajectory is diffable across PRs without
+    parsing tables.
     """
+    from repro.core import execution_environment, peak_rss_bytes
+
     RESULTS_DIR.mkdir(exist_ok=True)
     banner = f"\n=== {bench_name} ===\n{text}\n"
     print(banner, file=sys.__stdout__, flush=True)
     archived = f"{text}\n\n{environment_block()}\n"
     (RESULTS_DIR / f"{bench_name}.txt").write_text(archived)
+    payload = {
+        "bench": bench_name,
+        "version": repro.__version__,
+        "scale": SCALE,
+        "seed": SEED,
+        "metric_samples": METRIC_SAMPLES,
+        **(data or {}),
+        "environment": execution_environment(),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    (RESULTS_DIR / f"BENCH_{bench_name}.json").write_text(
+        json.dumps(payload, indent=2, default=_json_default) + "\n"
+    )
+
+
+def _json_default(value):
+    """Fallback encoder: NumPy scalars/arrays into plain JSON types."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+def table_data(headers: list[str], rows: list[list]) -> dict:
+    """Rows as JSON-ready dicts for :func:`emit`'s ``data`` argument."""
+    return {
+        "cases": [dict(zip(headers, row)) for row in rows],
+    }
 
 
 def format_table(headers: list[str], rows: list[list], precision: int = 4) -> str:

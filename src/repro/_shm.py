@@ -1,43 +1,28 @@
-"""Shared-memory hygiene: a process-local segment registry.
+"""Historical alias of :mod:`repro._segments` (shared-memory hygiene).
 
-Both multiprocess engines (the connectivity ``process`` backend and the
-``ProcessTrialEngine``) publish NumPy arrays through named
-:mod:`multiprocessing.shared_memory` segments.  A segment outlives the
-Python objects that reference it -- it is a file under ``/dev/shm`` --
-so a crash between ``create`` and ``unlink`` leaks kernel memory until
-reboot.  This module makes that impossible to do silently:
-
-* :func:`create_segment` hands out segments with a recognizable
-  ``repro-<pid>-<counter>-<token>`` name and records them in a
-  process-local registry.
-* :func:`release_segment` is the one true cleanup path: close + unlink +
-  deregister, with failures *logged* rather than swallowed.
-* A sweep runs at interpreter exit (``atexit``) and on ``SIGTERM`` /
-  ``SIGINT`` (chaining any previously installed handler), releasing
-  every segment this process still owns.  Forked children inherit the
-  registry but each entry remembers its creator pid, so a worker's exit
-  never unlinks its parent's live segments.
-* :func:`reap_orphan_segments` scans the segment directory for
-  ``repro-<pid>-...`` names whose owning process no longer exists and
-  unlinks them -- the janitor :func:`repro.core.execution_environment`
-  runs so long-lived services recover memory leaked by killed runs.
-
-The registry deliberately lives below both :mod:`repro.core` and
-:mod:`repro.reliability` so either layer can use it without an import
-cycle.
+The PR-7 shm registry grew into a unified registry covering both POSIX
+shared memory and file-backed memmap segments; the implementation now
+lives in :mod:`repro._segments`.  This module re-exports the full API
+under its original name so existing imports -- and the process-local
+registry they all share -- keep working unchanged.
 """
 
 from __future__ import annotations
 
-import atexit
-import itertools
-import logging
-import os
-import re
-import secrets
-import signal
-import threading
-from multiprocessing import shared_memory
+from ._segments import (  # noqa: F401
+    SEGMENT_PREFIX,
+    Segment,
+    _SHM_DIR,
+    _chained_handler,
+    _install_exit_hooks,
+    _pid_alive,
+    active_segments,
+    attach_segment,
+    create_segment,
+    release_segment,
+    reap_orphan_segments,
+    sweep_segments,
+)
 
 __all__ = [
     "SEGMENT_PREFIX",
@@ -48,189 +33,3 @@ __all__ = [
     "sweep_segments",
     "reap_orphan_segments",
 ]
-
-#: Name prefix of every segment this library creates.  The embedded pid
-#: is what lets the orphan reaper attribute a leaked segment to a dead
-#: process.
-SEGMENT_PREFIX = "repro"
-
-#: Default directory POSIX shared memory appears under.
-_SHM_DIR = "/dev/shm"
-
-_SEGMENT_NAME = re.compile(rf"^{SEGMENT_PREFIX}-(\d+)-\d+-[0-9a-f]+$")
-
-logger = logging.getLogger("repro.shm")
-
-#: name -> (segment, creator pid).  Guarded by ``_lock``; forked workers
-#: inherit a snapshot whose entries carry the parent's pid.
-_REGISTRY: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
-_lock = threading.Lock()
-_counter = itertools.count()
-_hooks_installed = False
-
-
-def _segment_name() -> str:
-    return (
-        f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_counter)}-"
-        f"{secrets.token_hex(4)}"
-    )
-
-
-def create_segment(nbytes: int) -> shared_memory.SharedMemory:
-    """Create and register a named segment of at least ``nbytes`` bytes."""
-    shm = shared_memory.SharedMemory(
-        name=_segment_name(), create=True, size=max(1, int(nbytes))
-    )
-    with _lock:
-        _REGISTRY[shm.name] = (shm, os.getpid())
-    _install_exit_hooks()
-    return shm
-
-
-def attach_segment(name: str) -> shared_memory.SharedMemory:
-    """Attach to an existing segment (not registered: we don't own it)."""
-    return shared_memory.SharedMemory(name=name)
-
-
-def release_segment(
-    shm: shared_memory.SharedMemory, unlink: bool = True
-) -> None:
-    """Close (and by default unlink) a segment, deregistering it.
-
-    Idempotent; cleanup failures are logged -- never silently dropped --
-    because a swallowed unlink error is exactly how segments leak.
-    """
-    with _lock:
-        _REGISTRY.pop(shm.name, None)
-    try:
-        shm.close()
-    except (OSError, ValueError) as exc:
-        logger.warning("closing shm segment %s failed: %s", shm.name, exc)
-    if not unlink:
-        return
-    try:
-        shm.unlink()
-    except FileNotFoundError:
-        pass  # already unlinked (idempotent release)
-    except OSError as exc:
-        logger.warning("unlinking shm segment %s failed: %s", shm.name, exc)
-
-
-def active_segments() -> tuple[str, ...]:
-    """Names of registered segments created by *this* process."""
-    pid = os.getpid()
-    with _lock:
-        return tuple(
-            name for name, (_, owner) in _REGISTRY.items() if owner == pid
-        )
-
-
-def sweep_segments(reason: str = "atexit") -> int:
-    """Release every segment this process still owns; returns the count.
-
-    Runs from ``atexit`` and the signal handlers; safe to call directly
-    (e.g. from tests or a server's shutdown path).
-    """
-    pid = os.getpid()
-    with _lock:
-        owned = [
-            shm for shm, owner in _REGISTRY.values() if owner == pid
-        ]
-    if owned:
-        logger.warning(
-            "sweeping %d leaked shm segment(s) at %s: %s",
-            len(owned), reason, [s.name for s in owned],
-        )
-    for shm in owned:
-        release_segment(shm)
-    return len(owned)
-
-
-def _chained_handler(sig, frame, previous) -> None:
-    """Sweep segments, then honor whatever disposition ``sig`` had.
-
-    A callable previous handler is invoked (it decides whether to die).
-    ``SIG_IGN`` is *not* callable but still a deliberate choice -- a
-    process that ignores SIGINT/SIGTERM must keep ignoring them after
-    the sweep, not be re-killed with the default action.  Only when the
-    previous disposition was the default (or unknown) is the signal
-    re-raised under ``SIG_DFL`` so the process dies with the right
-    wait-status.
-    """
-    sweep_segments(f"signal {sig}")
-    if callable(previous):
-        previous(sig, frame)
-    elif previous is signal.SIG_IGN:
-        return  # deliberately ignored before us; stay ignored
-    else:
-        signal.signal(sig, signal.SIG_DFL)
-        signal.raise_signal(sig)
-
-
-def _install_exit_hooks() -> None:
-    """Register the atexit sweep and chain SIGTERM/SIGINT (once)."""
-    global _hooks_installed
-    with _lock:
-        if _hooks_installed:
-            return
-        _hooks_installed = True
-    atexit.register(sweep_segments, "atexit")
-    for signum in (signal.SIGTERM, signal.SIGINT):
-        try:
-            previous = signal.getsignal(signum)
-
-            def _handler(sig, frame, _previous=previous):
-                _chained_handler(sig, frame, _previous)
-
-            signal.signal(signum, _handler)
-        except (ValueError, OSError):
-            # Not the main thread (or an exotic platform): the atexit
-            # sweep still covers normal interpreter shutdown.
-            pass
-
-
-def _pid_alive(pid: int) -> bool:
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:
-        return True  # exists, owned by someone else
-    return True
-
-
-def reap_orphan_segments(directory: str = _SHM_DIR) -> dict:
-    """Unlink ``repro-<pid>-...`` segments whose owner process is dead.
-
-    Returns ``{"found": [...], "reaped": [...], "failed": [...]}`` of
-    segment names.  Live processes' segments (including this one's) are
-    never touched, so concurrent runs on the same host are safe.
-    """
-    found: list[str] = []
-    reaped: list[str] = []
-    failed: list[str] = []
-    try:
-        entries = os.listdir(directory)
-    except OSError:
-        return {"found": found, "reaped": reaped, "failed": failed}
-    for entry in entries:
-        match = _SEGMENT_NAME.match(entry)
-        if match is None:
-            continue
-        if _pid_alive(int(match.group(1))):
-            continue
-        found.append(entry)
-        try:
-            os.unlink(os.path.join(directory, entry))
-        except FileNotFoundError:
-            reaped.append(entry)  # raced another reaper: gone either way
-        except OSError as exc:
-            failed.append(entry)
-            logger.warning("could not reap orphan segment %s: %s", entry, exc)
-        else:
-            reaped.append(entry)
-    if reaped:
-        logger.warning(
-            "reaped %d orphaned shm segment(s): %s", len(reaped), reaped
-        )
-    return {"found": found, "reaped": reaped, "failed": failed}

@@ -115,13 +115,13 @@ class CommandRuntime:
         return None
 
     def world_store(self, graph, n_samples, seed, backend="auto",
-                    n_workers=None):
+                    n_workers=None, memory_budget=None):
         """A pristine CRN world store for ``(graph, n_samples, seed)``."""
         from .reliability.worldstore import WorldStore
 
         return WorldStore(
             graph, n_samples, seed=seed, backend=backend,
-            n_workers=n_workers,
+            n_workers=n_workers, memory_budget=memory_budget,
         )
 
 
@@ -129,6 +129,24 @@ def _worker_count(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"--workers must be >= 1, got {value}")
+    return value
+
+
+def _byte_budget(text: str) -> int:
+    """Parse a byte count with optional k/m/g suffix (e.g. ``256m``)."""
+    raw = text.strip().lower()
+    scale = {"k": 1024, "m": 1024**2, "g": 1024**3}.get(raw[-1:], 1)
+    digits = raw[:-1] if scale != 1 else raw
+    try:
+        value = int(digits) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte count like 512m, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be positive, got {text!r}"
+        )
     return value
 
 
@@ -145,6 +163,13 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         "--workers", type=_worker_count, default=None,
         help="worker count for --backend process "
              "(default: REPRO_NUM_WORKERS or the CPU count)",
+    )
+    subparser.add_argument(
+        "--world-memory-budget", type=_byte_budget, default=None,
+        help="byte cap on the Monte-Carlo world state materialized at "
+             "once (suffixes k/m/g accepted); the world store chunks "
+             "its matrices to fit -- results are bit-identical, only "
+             "peak memory changes (default: unbounded)",
     )
 
 
@@ -432,6 +457,7 @@ def _cmd_anonymize(args, out, err, runtime) -> int:
                            trial_backend=trial_backend,
                            obfuscation_checker=args.checker,
                            utility_samples=args.utility_samples,
+                           world_memory_budget=args.world_memory_budget,
                            trial_timeout=args.trial_timeout,
                            max_retries=args.max_retries,
                            fault_plan=args.faults,
@@ -483,6 +509,7 @@ def _cmd_evaluate(args, out, err, runtime) -> int:
         original, anonymized, n_samples=args.samples, seed=args.seed,
         backend=args.backend, n_workers=args.workers,
         reliability_engine=args.engine, antithetic=args.antithetic,
+        memory_budget=args.world_memory_budget,
     )
     rows = {
         name: {
@@ -508,6 +535,7 @@ def _cmd_discrepancy(args, out, err, runtime) -> int:
     store = runtime.world_store(
         original, args.samples, args.seed,
         backend=args.backend, n_workers=args.workers,
+        memory_budget=args.world_memory_budget,
     )
     view = store.derive(graph_delta(original, anonymized))
     value = store.discrepancy(view, seed=args.seed)

@@ -23,6 +23,7 @@ from .diagnostics import (
     FeasibilityReport,
     diagnose_feasibility,
     execution_environment,
+    peak_rss_bytes,
     recommended_trial_backend,
 )
 from .refine import RefinementStats, refine_anonymization
@@ -88,6 +89,7 @@ __all__ = [
     "FeasibilityReport",
     "diagnose_feasibility",
     "execution_environment",
+    "peak_rss_bytes",
     "recommended_trial_backend",
     "RefinementStats",
     "refine_anonymization",

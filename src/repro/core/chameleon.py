@@ -159,6 +159,7 @@ class Chameleon:
                 seed=int(rng.integers(0, 2**63 - 1)),
                 backend=config.connectivity_backend,
                 n_workers=config.n_workers,
+                memory_budget=config.world_memory_budget,
             )
             if graph.n_nodes > FULL_MATRIX_LIMIT:
                 # One fixed pair set scores every candidate, keeping the

@@ -68,6 +68,16 @@ class ChameleonConfig:
         discrepancy incrementally (dirty-world relabeling);
         ``AnonymizationResult.utility_discrepancy`` reports the accepted
         solution's score.  0 (default) skips utility verification.
+    world_memory_budget:
+        Soft cap, in bytes, on the Monte-Carlo world state any single
+        :class:`repro.reliability.WorldStore` materializes at once.
+        When set, stores partition their uniform/mask/label matrices
+        into world-chunks sized to the budget (and skip caches that
+        would exceed it); results are bit-identical at every chunk
+        size, only peak memory changes.  ``None`` (default) keeps the
+        single-chunk layout.  ``REPRO_WORLD_CHUNK`` /
+        ``REPRO_WORLD_BACKEND`` override chunk size and block storage
+        (``ram`` vs ``memmap``) directly.
     n_workers:
         Worker count for the ``"process"`` connectivity backend and the
         pooled trial backends; ``None`` defers to ``REPRO_NUM_WORKERS``
@@ -143,6 +153,7 @@ class ChameleonConfig:
     connectivity_backend: str = "auto"
     n_workers: int | None = None
     utility_samples: int = 0
+    world_memory_budget: int | None = None
     trial_backend: str = "serial"
     obfuscation_checker: str = "incremental"
     selection_mode: str = "reliability-sensitive"
@@ -190,6 +201,12 @@ class ChameleonConfig:
         if self.utility_samples < 0:
             raise ConfigurationError(
                 f"utility_samples must be >= 0, got {self.utility_samples}"
+            )
+        if self.world_memory_budget is not None \
+                and self.world_memory_budget < 1:
+            raise ConfigurationError(
+                "world_memory_budget must be a positive byte count (or None "
+                f"for unbounded), got {self.world_memory_budget}"
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError(

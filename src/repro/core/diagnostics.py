@@ -43,11 +43,36 @@ __all__ = [
     "FeasibilityReport",
     "diagnose_feasibility",
     "execution_environment",
+    "peak_rss_bytes",
     "recommended_trial_backend",
 ]
 
 #: Environment variables that change repro's execution behavior.
-_REPRO_ENV_VARS = ("REPRO_KERNELS", "REPRO_NUM_WORKERS", "REPRO_FAULTS")
+_REPRO_ENV_VARS = (
+    "REPRO_KERNELS",
+    "REPRO_NUM_WORKERS",
+    "REPRO_FAULTS",
+    "REPRO_WORLD_BACKEND",
+    "REPRO_WORLD_CHUNK",
+    "REPRO_SEGMENT_DIR",
+    "REPRO_SEGMENT_KIND",
+)
+
+
+def peak_rss_bytes() -> int | None:
+    """This process's peak resident set size, in bytes (None if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the report
+    normalizes to bytes so memory-budget claims are comparable.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - resource is POSIX-only
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
 
 
 def execution_environment() -> dict:
@@ -88,6 +113,9 @@ def execution_environment() -> dict:
             "orphans_found": reaped["found"],
             "orphans_reaped": reaped["reaped"],
             "orphans_failed": reaped["failed"],
+        },
+        "memory": {
+            "peak_rss_bytes": peak_rss_bytes(),
         },
     }
 

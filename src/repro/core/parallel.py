@@ -62,7 +62,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import _shm
+from .. import _segments, _shm
 from ..exceptions import ConfigurationError, InjectedFault, TrialTimeoutError
 from ..privacy.incremental import DegreeUncertaintyCache
 from ..privacy.obfuscation import ObfuscationReport, check_obfuscation
@@ -602,7 +602,7 @@ def _pack_arrays(arrays: dict[str, np.ndarray]):
         name: np.ascontiguousarray(arr) for name, arr in arrays.items()
     }
     total = sum(arr.nbytes for arr in contiguous.values())
-    shm = _shm.create_segment(total)
+    shm = _segments.create_segment(total, kind=_segments.publish_kind())
     manifest: list[tuple[str, str, tuple, int]] = []
     offset = 0
     for name, arr in contiguous.items():

@@ -137,7 +137,10 @@ def select_candidate_edges(
         max_rounds = 200 * max(target, 1)
 
     rounds = 0
-    done = False
+    # With c = 1 the original edge set already meets the target; without
+    # this entry check the walk drifts away from the target (adds dominate
+    # removals on sparse graphs) and only stops at the round cap.
+    done = len(candidates) == target
     while not done and rounds < max_rounds:
         us = rng.choice(n, size=_BATCH, p=weights)
         vs = rng.choice(n, size=_BATCH, p=weights)

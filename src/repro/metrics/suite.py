@@ -79,6 +79,7 @@ def compare_graphs(
     n_workers: int | None = None,
     reliability_engine: str = "store",
     antithetic: bool = False,
+    memory_budget: int | None = None,
 ) -> dict[str, MetricComparison]:
     """Evaluate utility preservation across the paper's metric groups.
 
@@ -103,6 +104,10 @@ def compare_graphs(
     antithetic:
         Antithetic world pairing for the reliability group (requires an
         even ``n_samples``).
+    memory_budget:
+        Byte cap on the reliability group's world state (see
+        :class:`repro.reliability.WorldStore`); values are unchanged,
+        only peak memory.
 
     Returns a dict keyed by metric name.  The ``"reliability"`` entry is
     special: its *relative_error* is the average per-pair reliability
@@ -177,6 +182,7 @@ def compare_graphs(
             store = WorldStore(
                 original, n_samples=n_samples, seed=rng,
                 backend=backend, n_workers=n_workers, antithetic=antithetic,
+                memory_budget=memory_budget,
             )
             view = store.derive(graph_delta(original, anonymized))
             results["reliability"] = MetricComparison(

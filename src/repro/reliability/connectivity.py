@@ -46,13 +46,12 @@ import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from multiprocessing import shared_memory
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
 from scipy.sparse.csgraph import connected_components as _scipy_cc
 
-from .. import _shm, kernels
+from .. import _segments, _shm, kernels
 from ..exceptions import ConfigurationError
 from ..ugraph.graph import UncertainGraph
 from .union_find import component_labels as _uf_labels
@@ -267,14 +266,19 @@ def shutdown_worker_pools() -> None:
 atexit.register(shutdown_worker_pools)
 
 
-def _create_shared_masks(masks: np.ndarray) -> shared_memory.SharedMemory:
-    """Copy a boolean world matrix into a fresh shared-memory segment.
+def _create_shared_masks(masks: np.ndarray) -> "_segments.Segment":
+    """Copy a boolean world matrix into a fresh out-of-heap segment.
+
+    The kind follows ``REPRO_SEGMENT_KIND``: POSIX shared memory by
+    default, file-backed memmap segments where ``/dev/shm`` is scarce.
 
     The segment comes from the :mod:`repro._shm` registry, so an
     interpreter killed between creation and the ``finally`` unlink in
     :func:`_process_labels` is swept at exit instead of leaking.
     """
-    shm = _shm.create_segment(masks.nbytes)
+    shm = _segments.create_segment(
+        masks.nbytes, kind=_segments.publish_kind()
+    )
     view = np.ndarray(masks.shape, dtype=np.bool_, buffer=shm.buf)
     view[:] = masks
     # ``view`` goes out of scope here; only the segment's own buffer

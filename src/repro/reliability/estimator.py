@@ -97,6 +97,7 @@ class ReliabilityEstimator:
         backend: str = "scipy",
         antithetic: bool = False,
         n_workers: int | None = None,
+        memory_budget: int | None = None,
     ):
         if n_samples <= 0:
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
@@ -109,6 +110,7 @@ class ReliabilityEstimator:
         self._store = WorldStore(
             graph, n_samples, seed=seed, backend=backend,
             n_workers=n_workers, antithetic=antithetic,
+            memory_budget=memory_budget,
         )
 
     # -- cached world machinery ---------------------------------------- #
@@ -204,6 +206,7 @@ def reliability_discrepancy(
     n_workers: int | None = None,
     engine: str = "store",
     antithetic: bool = False,
+    memory_budget: int | None = None,
 ) -> float:
     """Estimate the reliability discrepancy ``Delta`` (Definition 2).
 
@@ -234,6 +237,9 @@ def reliability_discrepancy(
         bit-identical.
     antithetic:
         Sample worlds in antithetic pairs (both engines).
+    memory_budget:
+        Byte cap on the world state materialized at once (see
+        :class:`WorldStore`); results are unchanged, only peak memory.
 
     The same sampled pair set is applied to both graphs so the comparison
     is paired, which dramatically reduces estimator variance.
@@ -256,6 +262,7 @@ def reliability_discrepancy(
         store = WorldStore(
             original, n_samples, seed=shared_seed, backend=backend,
             n_workers=n_workers, antithetic=antithetic,
+            memory_budget=memory_budget,
         )
         view = store.derive(graph_delta(original, anonymized))
         return store.discrepancy(
@@ -265,10 +272,12 @@ def reliability_discrepancy(
     est_a = ReliabilityEstimator(
         original, n_samples, seed=shared_seed,
         backend=backend, n_workers=n_workers, antithetic=antithetic,
+        memory_budget=memory_budget,
     )
     est_b = ReliabilityEstimator(
         anonymized, n_samples, seed=shared_seed,
         backend=backend, n_workers=n_workers, antithetic=antithetic,
+        memory_budget=memory_budget,
     )
 
     total_pairs = n * (n - 1) / 2

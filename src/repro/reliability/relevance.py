@@ -180,8 +180,6 @@ def _forced_absent_err_batch(
     everywhere) therefore costs no relabeling at all.
     """
     edges = np.asarray(edges, dtype=np.int64)
-    masks = store.base_masks
-    labels = store.base_labels
     src, dst = graph.edge_src, graph.edge_dst
     p = graph.edge_probabilities
     totals = np.zeros(edges.size, dtype=np.float64)
@@ -189,10 +187,14 @@ def _forced_absent_err_batch(
     for j, e in enumerate(edges.tolist()):
         u, v = int(src[e]), int(dst[e])
         # Worlds where the edge was already absent: the shared labels are
-        # the labels of the forced-absent world.
-        absent = np.flatnonzero(~masks[:, e])
+        # the labels of the forced-absent world.  The per-column /
+        # per-row accessors stream from the store's world-chunks without
+        # materializing the full mask or label matrix.
+        absent = np.flatnonzero(~store.base_mask_column(e))
         if absent.size:
-            totals[j] += _merge_gain_total(labels[absent], u, v)
+            totals[j] += _merge_gain_total(
+                store.base_label_rows(absent), u, v
+            )
         # Worlds where it was present: the forced-absent delta's dirty
         # set, relabeled by the store with the column cleared.
         view = store.derive([(u, v, float(p[e]), 0.0)])

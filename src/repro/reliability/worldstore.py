@@ -20,21 +20,55 @@ variance trick into a *structural* speedup:
   worlds are relabeled (with the batched kernel); clean worlds reuse the
   cached base labels.
 
+Sharded storage (the scale-out path)
+------------------------------------
+The uniform/mask/label matrices are partitioned into **world-chunks**:
+contiguous row blocks of at most ``chunk_worlds`` worlds, each block
+either an in-RAM array or an ``np.memmap``-style view over a file-backed
+segment from the :mod:`repro._segments` registry (pid-stamped names,
+atexit/signal sweep, orphan reaper).  Chunking is invisible to callers:
+
+* uniforms are drawn chunk-by-chunk in row order, which consumes the
+  generator's stream exactly as one monolithic ``rng.random((N, C))``
+  call would (``Generator.random`` fills C-contiguous output in order),
+  so base masks stay bitwise equal to ``sample_edge_masks`` at *every*
+  chunk size -- antithetic mode forces even chunk sizes so pair rows
+  never straddle a draw;
+* ``derive`` re-thresholds dirty columns chunk-by-chunk and relabels
+  only the dirty worlds within touched chunks;
+* pair counts, pair equality and the pairwise accumulator stream
+  per-chunk partial sums through the existing exact int64 reducers, so
+  no query materializes more than one chunk (plus ``memory_budget``-
+  gated caches) at a time.
+
+Resolution of the knobs (first match wins): explicit ``chunk_worlds`` >
+``REPRO_WORLD_CHUNK`` > derived from ``memory_budget`` (bytes per world:
+9 per edge column + 4 per vertex label) > one chunk of all ``N`` worlds.
+Whatever the source, the chunk size is raised until the store fits in at
+most ``_MAX_CHUNKS`` chunks -- each memmap chunk block pins an open file
+descriptor, so an unbounded chunk count would hit ``RLIMIT_NOFILE``.
+Storage backend: explicit ``store_backend`` > ``REPRO_WORLD_BACKEND`` >
+``"ram"``.  The single-chunk RAM configuration is the exact layout of
+the original monolithic store.
+
 Every query answered by a :class:`DerivedWorlds` view is **bit-identical**
 to a fresh full recompute over the same materialized masks: per-row
 component label values depend only on the row's realized edges, and all
 aggregations run through exact integer accumulators (int64 counts)
 divided by ``N`` at the end -- the same ``count / N`` float the direct
-estimator produces.
+estimator produces.  Integer partial sums over chunks are associative,
+so the chunked reductions are bit-identical too (property-tested in
+``tests/test_chunked_store.py``).
 """
 
 from __future__ import annotations
 
 import copy
+import os
 
 import numpy as np
 
-from .. import kernels
+from .. import _segments, kernels
 from .._rng import as_generator
 from ..exceptions import EstimationError
 from ..ugraph.graph import UncertainGraph
@@ -45,6 +79,7 @@ __all__ = [
     "DerivedWorlds",
     "graph_delta",
     "sample_vertex_pairs",
+    "WORLD_STORE_BACKENDS",
 ]
 
 #: Largest vertex count for which full ``n x n`` pairwise matrices are
@@ -56,6 +91,14 @@ PAIRWISE_BLOCK_ELEMENTS = 16_000_000
 DEFAULT_PAIR_SAMPLE = 20_000
 #: Tolerance when validating a delta's claimed ``p_old`` against the store.
 _P_OLD_TOLERANCE = 1e-9
+
+#: Storage backends for the world-chunk blocks.
+WORLD_STORE_BACKENDS = ("ram", "memmap")
+
+#: Hard ceiling on world-chunks per store.  Each memmap chunk block keeps
+#: one file descriptor open, so requested chunk sizes are raised until the
+#: store fits in at most this many chunks (<= 3 * _MAX_CHUNKS fds).
+_MAX_CHUNKS = 64
 
 
 def sample_vertex_pairs(
@@ -141,6 +184,17 @@ def _validate_pairs(pairs) -> np.ndarray:
     return pairs
 
 
+def _resolve_store_backend(store_backend: str | None) -> str:
+    if store_backend is None:
+        store_backend = os.environ.get("REPRO_WORLD_BACKEND") or "ram"
+    if store_backend not in WORLD_STORE_BACKENDS:
+        raise EstimationError(
+            f"store backend must be one of {WORLD_STORE_BACKENDS}, "
+            f"got {store_backend!r}"
+        )
+    return store_backend
+
+
 class WorldStore:
     """Cached CRN worlds of one base graph, derivable to candidate graphs.
 
@@ -164,6 +218,21 @@ class WorldStore:
         Draw uniforms in antithetic pairs (row ``2i+1`` uses ``1 - U`` of
         row ``2i``), matching ``sample_edge_masks(..., antithetic=True)``
         bitwise.  Requires an even ``n_samples``.
+    chunk_worlds:
+        Rows per world-chunk (default: ``REPRO_WORLD_CHUNK``, else
+        derived from ``memory_budget``, else all ``n_samples`` in one
+        chunk); raised as needed so the store never exceeds
+        ``_MAX_CHUNKS`` chunks.  Query results are bit-identical at
+        every chunk size.
+    store_backend:
+        ``"ram"`` (default) or ``"memmap"`` -- where chunk blocks live
+        (``REPRO_WORLD_BACKEND`` overrides the default).  Memmap blocks
+        are file segments in the :mod:`repro._segments` registry.
+    memory_budget:
+        Soft cap, in bytes, on world-state the store materializes at
+        once: it sizes ``chunk_worlds`` when that is not given and
+        disables the ``(N, M)`` pair-equality cache when the cache alone
+        would exceed it.  Values are unchanged either way.
 
     Use :meth:`from_masks` to wrap an already-sampled mask matrix; such a
     store has no uniforms and therefore only supports forced-present /
@@ -179,6 +248,9 @@ class WorldStore:
         backend: str = "auto",
         n_workers: int | None = None,
         antithetic: bool = False,
+        chunk_worlds: int | None = None,
+        store_backend: str | None = None,
+        memory_budget: int | None = None,
     ):
         if n_samples <= 0:
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
@@ -186,12 +258,25 @@ class WorldStore:
             raise EstimationError(
                 f"antithetic sampling needs an even n_samples, got {n_samples}"
             )
+        if memory_budget is not None and int(memory_budget) <= 0:
+            raise EstimationError(
+                f"memory_budget must be positive, got {memory_budget}"
+            )
         self._graph = graph
         self._n_samples = int(n_samples)
         self._rng = as_generator(seed)
         self._backend = backend
         self._n_workers = n_workers
         self._antithetic = bool(antithetic)
+        self._memory_budget = (
+            None if memory_budget is None else int(memory_budget)
+        )
+        self._store_backend = _resolve_store_backend(store_backend)
+        chunk = self._resolve_chunk_size(chunk_worlds)
+        self._chunks: tuple[tuple[int, int], ...] = tuple(
+            (start, min(start + chunk, self._n_samples))
+            for start in range(0, self._n_samples, chunk)
+        )
         # Growable edge universe: base edges first, candidate-introduced
         # columns appended (base probability 0 => base mask all-False).
         self._src = graph.edge_src.copy()
@@ -202,15 +287,53 @@ class WorldStore:
             for i, (u, v) in enumerate(zip(self._src, self._dst))
         }
         self._has_uniforms = True
-        # Uniform buffer may hold spare capacity beyond the logical
-        # column count (geometric growth); ``uniforms`` slices it.
-        self._uniforms: np.ndarray | None = None
-        self._masks: np.ndarray | None = None
-        self._labels: np.ndarray | None = None
+        # Chunked storage: one row-block per chunk.  Uniform blocks may
+        # hold spare column capacity (geometric growth); ``_u_cols`` is
+        # the logical width.  Mutations rebind the block lists (or write
+        # only spare columns), never patch shared blocks in place, so
+        # clones can share blocks copy-on-write.
+        self._u_blocks: list[np.ndarray] | None = None
+        self._u_cols = 0
+        self._u_capacity = 0
+        self._m_blocks: list[np.ndarray] | None = None
+        self._l_blocks: list[np.ndarray] | None = None
+        self._segments_owned: list[_segments.Segment] = []
+        self._storage_shared = False
         self._pair_counts: np.ndarray | None = None
         self._pair_acc: np.ndarray | None = None
         self._pairwise: np.ndarray | None = None
         self._pair_equal_cache: tuple[tuple, np.ndarray] | None = None
+
+    def _resolve_chunk_size(self, chunk_worlds: int | None) -> int:
+        if chunk_worlds is None:
+            env = os.environ.get("REPRO_WORLD_CHUNK")
+            if env:
+                chunk_worlds = int(env)
+        if chunk_worlds is not None and int(chunk_worlds) <= 0:
+            raise EstimationError(
+                f"chunk_worlds must be positive, got {chunk_worlds}"
+            )
+        if chunk_worlds is None and self._memory_budget is not None:
+            per_world = (
+                9 * max(1, self._graph.n_edges) + 4 * self._graph.n_nodes
+            )
+            chunk_worlds = max(1, self._memory_budget // per_world)
+        if chunk_worlds is None:
+            chunk_worlds = self._n_samples
+        chunk = max(1, min(int(chunk_worlds), self._n_samples))
+        # Every memmap chunk block pins an open file descriptor (CPython's
+        # mmap dups the fd for the mapping's lifetime), so bound the chunk
+        # count: a tiny explicit chunk on a huge store would otherwise
+        # exhaust RLIMIT_NOFILE long before it exhausted memory.
+        min_chunk = -(-self._n_samples // _MAX_CHUNKS)
+        chunk = min(max(chunk, min_chunk), self._n_samples)
+        if self._antithetic and chunk % 2 != 0:
+            # Antithetic rows come in (2i, 2i+1) pairs drawn together; an
+            # even chunk size keeps every pair inside one chunk, which is
+            # what makes the per-chunk draws consume the generator stream
+            # exactly like the monolithic draw.
+            chunk = max(2, chunk - 1)
+        return chunk
 
     @classmethod
     def from_masks(
@@ -220,6 +343,7 @@ class WorldStore:
         backend: str = "auto",
         n_workers: int | None = None,
         labels: np.ndarray | None = None,
+        memory_budget: int | None = None,
     ) -> "WorldStore":
         """Wrap an existing ``(N, |E|)`` mask matrix (no uniforms kept).
 
@@ -227,6 +351,7 @@ class WorldStore:
         forced-absent derivations (``p_new`` in ``{0, 1}``); general
         re-thresholding raises because the uniforms behind ``masks`` are
         unknown.  ``labels`` optionally seeds the base-label cache.
+        Chunking wraps zero-copy row views of the given arrays.
         """
         masks = np.asarray(masks)
         if masks.ndim != 2 or masks.shape[1] != graph.n_edges:
@@ -235,10 +360,13 @@ class WorldStore:
             )
         store = cls(
             graph, n_samples=masks.shape[0], backend=backend,
-            n_workers=n_workers,
+            n_workers=n_workers, memory_budget=memory_budget,
         )
         store._has_uniforms = False
-        store._masks = masks.astype(bool, copy=False)
+        masks = masks.astype(bool, copy=False)
+        store._m_blocks = [
+            masks[start:stop] for start, stop in store._chunks
+        ]
         if labels is not None:
             labels = np.asarray(labels)
             if labels.shape != (masks.shape[0], graph.n_nodes):
@@ -246,7 +374,9 @@ class WorldStore:
                     f"labels must be {(masks.shape[0], graph.n_nodes)}, "
                     f"got {labels.shape}"
                 )
-            store._labels = labels
+            store._l_blocks = [
+                labels[start:stop] for start, stop in store._chunks
+            ]
         return store
 
     def clone(self) -> "WorldStore":
@@ -264,11 +394,13 @@ class WorldStore:
         ``(graph, n_samples, seed)``: the generator state is deep-copied,
         so subsequent draws consume the same stream.
 
-        The base caches (masks, labels, counts) are shared by reference:
-        column growth rebinds them via concatenation rather than writing
-        in place, so sharing is safe and keeps clones cheap.  Only the
-        uniform buffer is copied -- growth writes new draws into its
-        spare capacity in place.
+        Chunk blocks are shared **copy-on-write**: every base cache
+        (uniform, mask and label blocks, counts) is shared by reference
+        -- mutations rebind lists or write only spare uniform capacity --
+        and the one in-place path (column growth writing new draws into
+        spare uniform columns) re-allocates the clone's uniform blocks
+        first.  Clones are therefore O(1) in world-state memory until
+        they grow the universe.
         """
         twin = object.__new__(WorldStore)
         twin._graph = self._graph
@@ -277,21 +409,190 @@ class WorldStore:
         twin._backend = self._backend
         twin._n_workers = self._n_workers
         twin._antithetic = self._antithetic
+        twin._memory_budget = self._memory_budget
+        twin._store_backend = self._store_backend
+        twin._chunks = self._chunks
         twin._src = self._src
         twin._dst = self._dst
         twin._prob = self._prob
         twin._col_index = dict(self._col_index)
         twin._has_uniforms = self._has_uniforms
-        twin._uniforms = (
-            None if self._uniforms is None else self._uniforms.copy()
-        )
-        twin._masks = self._masks
-        twin._labels = self._labels
+        twin._u_blocks = self._u_blocks
+        twin._u_cols = self._u_cols
+        twin._u_capacity = self._u_capacity
+        twin._m_blocks = self._m_blocks
+        twin._l_blocks = self._l_blocks
+        twin._segments_owned = []
+        twin._storage_shared = self._u_blocks is not None
         twin._pair_counts = self._pair_counts
         twin._pair_acc = self._pair_acc
         twin._pairwise = self._pairwise
         twin._pair_equal_cache = self._pair_equal_cache
         return twin
+
+    def close(self) -> None:
+        """Release the store's file segments (memmap backend).
+
+        Live clones sharing the blocks keep working: unlinking a mapped
+        file leaves the mapping readable until the last view dies.
+        Idempotent; the :mod:`repro._segments` exit sweep is the
+        backstop when this is never called.
+        """
+        owned, self._segments_owned = self._segments_owned, []
+        for segment in owned:
+            _segments.release_segment(segment)
+
+    def __del__(self):  # best-effort backstop; close() is the contract
+        try:
+            if getattr(self, "_segments_owned", None):
+                self.close()
+        except (OSError, ValueError, RuntimeError):
+            pass  # interpreter teardown: the atexit sweep covers it
+
+    # -- chunked storage -------------------------------------------------- #
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of world-chunks the store is partitioned into."""
+        return len(self._chunks)
+
+    @property
+    def chunk_bounds(self) -> tuple[tuple[int, int], ...]:
+        """``(start, stop)`` row range of every world-chunk."""
+        return self._chunks
+
+    @property
+    def store_backend(self) -> str:
+        """Where chunk blocks live: ``"ram"`` or ``"memmap"``."""
+        return self._store_backend
+
+    @property
+    def memory_budget(self) -> int | None:
+        return self._memory_budget
+
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of the file segments this store owns (memmap backend)."""
+        return tuple(seg.name for seg in self._segments_owned)
+
+    def _alloc_block(self, shape: tuple, dtype) -> np.ndarray:
+        """One chunk block: plain array, or a view over a file segment."""
+        count = int(np.prod(shape))
+        if self._store_backend != "memmap" or count == 0:
+            return np.empty(shape, dtype=dtype)
+        nbytes = count * np.dtype(dtype).itemsize
+        # Pinned: the store releases its own segments in close()/__del__,
+        # so leak accounting and in-process sweeps must not count them.
+        segment = _segments.create_segment(nbytes, kind="file", pinned=True)
+        self._segments_owned.append(segment)
+        return np.frombuffer(
+            segment.buf, dtype=dtype, count=count
+        ).reshape(shape)
+
+    def _draw_uniform_rows(self, rows: int, n_cols: int) -> np.ndarray:
+        """Draw ``(rows, n_cols)`` uniforms, mirroring the sampler's stream.
+
+        ``Generator.random`` fills C-contiguous output in draw order, so
+        consuming the same total rows chunk-by-chunk in row order yields
+        bitwise the values of one monolithic call.  Under antithetic
+        pairing ``rows`` is always even (chunk sizes are forced even),
+        so each chunk draws whole antithetic pairs.
+        """
+        if not self._antithetic:
+            return self._rng.random((rows, n_cols))
+        half = self._rng.random((rows // 2, n_cols))
+        out = np.empty((rows, n_cols), dtype=np.float64)
+        out[0::2] = half
+        out[1::2] = 1.0 - half
+        return out
+
+    def _ensure_uniforms(self) -> None:
+        """Draw the base uniform blocks (chunk order == row order)."""
+        if not self._has_uniforms:
+            raise EstimationError(
+                "store was built from masks; its uniforms are unknown"
+            )
+        if self._u_blocks is not None:
+            return
+        # The first draw covers exactly the base graph's columns so base
+        # masks reproduce sample_edge_masks(graph, N, seed) bitwise;
+        # grown columns consume the stream afterwards.
+        n_cols = self._graph.n_edges
+        blocks = []
+        for start, stop in self._chunks:
+            block = self._alloc_block((stop - start, n_cols), np.float64)
+            if n_cols:
+                block[:] = self._draw_uniform_rows(stop - start, n_cols)
+            blocks.append(block)
+        self._u_blocks = blocks
+        self._u_cols = n_cols
+        self._u_capacity = n_cols
+        self._storage_shared = False  # freshly drawn: nobody shares these
+
+    def _ensure_masks(self) -> None:
+        if self._m_blocks is not None:
+            return
+        self._ensure_uniforms()
+        width = self._prob.shape[0]
+        blocks = []
+        for (start, stop), u_block in zip(self._chunks, self._u_blocks):
+            block = self._alloc_block((stop - start, width), np.bool_)
+            np.less(u_block[:, :width], self._prob, out=block)
+            blocks.append(block)
+        self._m_blocks = blocks
+
+    def _ensure_labels(self) -> None:
+        if self._l_blocks is not None:
+            return
+        self._ensure_masks()
+        n = self._graph.n_nodes
+        blocks = []
+        for (start, stop), m_block in zip(self._chunks, self._m_blocks):
+            labels = component_labels_for_edges(
+                n, self._src, self._dst, m_block,
+                backend=self._backend, n_workers=self._n_workers,
+            )
+            if self._store_backend == "memmap":
+                block = self._alloc_block(labels.shape, labels.dtype)
+                block[:] = labels
+                labels = block
+            blocks.append(labels)
+        self._l_blocks = blocks
+
+    def _label_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Gather base-label rows across chunks (order-preserving)."""
+        self._ensure_labels()
+        rows = np.asarray(rows, dtype=np.int64)
+        first = self._l_blocks[0]
+        out = np.empty((rows.shape[0], first.shape[1]), dtype=first.dtype)
+        for (start, stop), block in zip(self._chunks, self._l_blocks):
+            sel = (rows >= start) & (rows < stop)
+            if np.any(sel):
+                out[sel] = block[rows[sel] - start]
+        return out
+
+    def base_label_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Public streaming gather of base-label rows (see `_label_rows`)."""
+        return self._label_rows(rows)
+
+    def base_mask_column(self, col: int) -> np.ndarray:
+        """One base-mask column ``(N,)`` without materializing the matrix."""
+        self._ensure_masks()
+        col = int(col)
+        if len(self._m_blocks) == 1:
+            return self._m_blocks[0][:, col]
+        out = np.empty(self._n_samples, dtype=bool)
+        for (start, stop), block in zip(self._chunks, self._m_blocks):
+            out[start:stop] = block[:, col]
+        return out
+
+    def warm(self) -> None:
+        """Force the expensive base state (uniforms, masks, labels) now.
+
+        A warm registry calls this before handing out clones so the
+        chunk blocks are shared by every clone instead of recomputed
+        per job.
+        """
+        self._ensure_labels()
 
     # -- base-world caches --------------------------------------------- #
 
@@ -308,52 +609,56 @@ class WorldStore:
         """Current edge-universe width (base edges + grown columns)."""
         return self._prob.shape[0]
 
-    def _draw_uniforms(self, n_cols: int) -> np.ndarray:
-        """Draw ``(N, n_cols)`` uniforms, mirroring the sampler's stream."""
-        if not self._antithetic:
-            return self._rng.random((self._n_samples, n_cols))
-        half = self._rng.random((self._n_samples // 2, n_cols))
-        out = np.empty((self._n_samples, n_cols), dtype=np.float64)
-        out[0::2] = half
-        out[1::2] = 1.0 - half
-        return out
-
     @property
     def uniforms(self) -> np.ndarray:
-        """The cached ``(N, n_columns)`` uniform matrix ``U``."""
-        if not self._has_uniforms:
-            raise EstimationError(
-                "store was built from masks; its uniforms are unknown"
-            )
-        if self._uniforms is None:
-            # The first draw covers exactly the base graph's columns so
-            # base masks reproduce sample_edge_masks(graph, N, seed)
-            # bitwise; grown columns consume the stream afterwards.
-            self._uniforms = self._draw_uniforms(self._graph.n_edges)
-        return self._uniforms[:, : self._prob.shape[0]]
+        """The ``(N, n_columns)`` uniform matrix ``U``.
+
+        With more than one chunk this *materializes* the concatenation
+        (an audit/compat accessor); chunk-local code paths never call it.
+        """
+        self._ensure_uniforms()
+        width = self._prob.shape[0]
+        if len(self._u_blocks) == 1:
+            return self._u_blocks[0][:, :width]
+        return np.concatenate(
+            [block[:, :width] for block in self._u_blocks], axis=0
+        )
 
     @property
     def base_masks(self) -> np.ndarray:
-        """Boolean ``(N, n_columns)`` base-world matrix (``U < p``)."""
-        if self._masks is None:
-            self._masks = self.uniforms < self._prob
-        return self._masks
+        """Boolean ``(N, n_columns)`` base-world matrix (``U < p``).
+
+        Materializes the chunk concatenation when chunked (audit/compat
+        accessor; the chunked query paths stream blocks instead).
+        """
+        self._ensure_masks()
+        if len(self._m_blocks) == 1:
+            return self._m_blocks[0]
+        return np.concatenate(self._m_blocks, axis=0)
 
     @property
     def base_labels(self) -> np.ndarray:
-        """Int ``(N, n)`` base component labels (cached)."""
-        if self._labels is None:
-            self._labels = component_labels_for_edges(
-                self._graph.n_nodes, self._src, self._dst, self.base_masks,
-                backend=self._backend, n_workers=self._n_workers,
-            )
-        return self._labels
+        """Int ``(N, n)`` base component labels.
+
+        Materializes the chunk concatenation when chunked (audit/compat
+        accessor; the chunked query paths stream blocks instead).
+        """
+        self._ensure_labels()
+        if len(self._l_blocks) == 1:
+            return self._l_blocks[0]
+        return np.concatenate(self._l_blocks, axis=0)
 
     @property
     def base_pair_counts(self) -> np.ndarray:
-        """Connected-pair count per base world (cached int64)."""
+        """Connected-pair count per base world (cached, chunk-streamed)."""
         if self._pair_counts is None:
-            self._pair_counts = pair_counts_from_labels(self.base_labels)
+            self._ensure_labels()
+            parts = [
+                pair_counts_from_labels(block) for block in self._l_blocks
+            ]
+            self._pair_counts = (
+                parts[0] if len(parts) == 1 else np.concatenate(parts)
+            )
         return self._pair_counts
 
     @property
@@ -366,12 +671,26 @@ class WorldStore:
                     f"full reliability matrix limited to {FULL_MATRIX_LIMIT} "
                     f"vertices, graph has {n}; use reliability_of_pairs"
                 )
-            self._pair_acc = _pairwise_equal_acc(self.base_labels, n)
+            self._ensure_labels()
+            acc = np.zeros((n, n), dtype=np.int64)
+            for block in self._l_blocks:
+                acc += _pairwise_equal_acc(block, n)
+            self._pair_acc = acc
         return self._pair_acc
 
     @staticmethod
     def _pair_cache_key(pairs: np.ndarray) -> tuple:
         return (pairs.shape[0], hash(pairs.tobytes()))
+
+    def _pair_cache_allowed(self, n_pairs: int) -> bool:
+        """Whether the ``(N, M)`` bool pair-equality cache fits the budget.
+
+        Skipping the cache changes memory use only: the streaming count
+        path below produces the identical int64 sums.
+        """
+        if self._memory_budget is None:
+            return True
+        return self._n_samples * n_pairs <= self._memory_budget
 
     def _base_pair_equal(self, pairs: np.ndarray) -> np.ndarray:
         """Boolean ``(N, M)`` base connectivity per pair, cached.
@@ -385,14 +704,15 @@ class WorldStore:
         if self._pair_equal_cache is not None and \
                 self._pair_equal_cache[0] == key:
             return self._pair_equal_cache[1]
-        labels = self.base_labels
+        self._ensure_labels()
         equal = np.empty((self._n_samples, pairs.shape[0]), dtype=bool)
-        for start in range(0, pairs.shape[0], _PAIR_COUNT_BLOCK):
-            block = pairs[start:start + _PAIR_COUNT_BLOCK]
-            equal[:, start:start + block.shape[0]] = (
-                labels.take(block[:, 0], axis=1)
-                == labels.take(block[:, 1], axis=1)
-            )
+        for (c_start, c_stop), labels in zip(self._chunks, self._l_blocks):
+            for start in range(0, pairs.shape[0], _PAIR_COUNT_BLOCK):
+                block = pairs[start:start + _PAIR_COUNT_BLOCK]
+                equal[c_start:c_stop, start:start + block.shape[0]] = (
+                    labels.take(block[:, 0], axis=1)
+                    == labels.take(block[:, 1], axis=1)
+                )
         self._pair_equal_cache = (key, equal)
         return equal
 
@@ -404,10 +724,19 @@ class WorldStore:
         return None
 
     def base_pair_equal_counts(self, pairs: np.ndarray) -> np.ndarray:
-        """Int64 connected-world counts for an ``(M, 2)`` pair array."""
-        return self._base_pair_equal(_validate_pairs(pairs)).sum(
-            axis=0, dtype=np.int64
-        )
+        """Int64 connected-world counts for an ``(M, 2)`` pair array.
+
+        Streams per-chunk partial sums when the boolean cache would
+        blow the memory budget; the int64 sums are bit-identical.
+        """
+        pairs = _validate_pairs(pairs)
+        if self._pair_cache_allowed(pairs.shape[0]):
+            return self._base_pair_equal(pairs).sum(axis=0, dtype=np.int64)
+        self._ensure_labels()
+        counts = np.zeros(pairs.shape[0], dtype=np.int64)
+        for block in self._l_blocks:
+            counts += _pair_equal_counts(block, pairs)
+        return counts
 
     def base_reliability_of_pairs(self, pairs: np.ndarray) -> np.ndarray:
         """Base-graph ``R_{u,v}`` for an ``(M, 2)`` pair array."""
@@ -447,19 +776,40 @@ class WorldStore:
         if self._has_uniforms:
             # Force the base draw first so the generator stream stays
             # "base block, then growth blocks in arrival order" no matter
-            # when the caller first touches the masks.  The buffer grows
-            # geometrically; each growth block is drawn straight into the
-            # spare capacity instead of re-concatenating the matrix.
-            __ = self.uniforms
-            if self._uniforms.shape[1] < old_cols + k:
-                capacity = max(old_cols + k, old_cols + old_cols // 2)
-                grown = np.empty((self._n_samples, capacity))
-                grown[:, :old_cols] = self._uniforms[:, :old_cols]
-                self._uniforms = grown
-            self._uniforms[:, old_cols:old_cols + k] = self._draw_uniforms(k)
-        if self._masks is not None:
-            pad = np.zeros((self._n_samples, k), dtype=bool)
-            self._masks = np.concatenate([self._masks, pad], axis=1)
+            # when the caller first touches the masks.  Blocks grow
+            # geometrically; each growth draw lands in spare capacity.
+            self._ensure_uniforms()
+            if self._storage_shared or self._u_capacity < old_cols + k:
+                # Copy-on-write (a clone shares these blocks), or out of
+                # spare columns: re-allocate before the in-place write.
+                capacity = max(
+                    self._u_capacity, old_cols + k, old_cols + old_cols // 2
+                )
+                grown = []
+                for (start, stop), block in zip(self._chunks, self._u_blocks):
+                    fresh = self._alloc_block(
+                        (stop - start, capacity), np.float64
+                    )
+                    fresh[:, :old_cols] = block[:, :old_cols]
+                    grown.append(fresh)
+                self._u_blocks = grown
+                self._u_capacity = capacity
+                self._storage_shared = False
+            # Per-chunk draws in row order == one monolithic (N, k) draw.
+            for (start, stop), block in zip(self._chunks, self._u_blocks):
+                block[:, old_cols:old_cols + k] = self._draw_uniform_rows(
+                    stop - start, k
+                )
+            self._u_cols = old_cols + k
+        if self._m_blocks is not None:
+            padded = []
+            for (start, stop), block in zip(self._chunks, self._m_blocks):
+                fresh = self._alloc_block((stop - start, old_cols + k),
+                                          np.bool_)
+                fresh[:, :old_cols] = block
+                fresh[:, old_cols:] = False
+                padded.append(fresh)
+            self._m_blocks = padded  # rebind: shared lists stay untouched
 
     # -- derivation ------------------------------------------------------ #
 
@@ -472,8 +822,9 @@ class WorldStore:
         last entry, ``p_old`` is validated against the store's base
         probability, no-op entries (``p_new`` equal to the stored value)
         are dropped.  Changed columns are re-thresholded against the
-        cached uniforms, worlds where any changed edge flipped are
-        relabeled, clean worlds reuse the base labels.
+        cached uniforms chunk by chunk; worlds where any changed edge
+        flipped are relabeled per chunk, clean worlds reuse the base
+        labels.
         """
         n = self._graph.n_nodes
         merged: dict[tuple[int, int], tuple[float, float]] = {}
@@ -515,12 +866,20 @@ class WorldStore:
 
         col_arr = np.asarray(cols, dtype=np.int64)
         p_arr = np.asarray(new_ps, dtype=np.float64)
+        self._ensure_masks()
+        new_parts: list[np.ndarray] = []
+        local_dirty: list[np.ndarray] = []
         if self._has_uniforms:
-            # One fused kernel pass: re-threshold the changed columns and
-            # find the worlds where any of them flipped.
-            new_cols, dirty = kernels.rethreshold_masks(
-                self.uniforms, self.base_masks, col_arr, p_arr
-            )
+            # One fused kernel pass per chunk: re-threshold the changed
+            # columns and find the rows where any of them flipped.
+            for (start, stop), u_block, m_block in zip(
+                self._chunks, self._u_blocks, self._m_blocks
+            ):
+                nc, d = kernels.rethreshold_masks(
+                    u_block[:, :self._u_cols], m_block, col_arr, p_arr
+                )
+                new_parts.append(nc)
+                local_dirty.append(d)
         else:
             nontrivial = (p_arr != 0.0) & (p_arr != 1.0)
             if np.any(nontrivial):
@@ -528,18 +887,44 @@ class WorldStore:
                     "store was built from masks: only forced-present/absent "
                     "deltas (p_new in {0, 1}) can be derived"
                 )
-            new_cols = np.broadcast_to(
-                p_arr == 1.0, (self._n_samples, col_arr.size)
-            ).copy()
-            flipped = new_cols != self.base_masks[:, col_arr]
-            dirty = np.flatnonzero(flipped.any(axis=1))
+            forced = p_arr == 1.0
+            for (start, stop), m_block in zip(self._chunks, self._m_blocks):
+                nc = np.broadcast_to(
+                    forced, (stop - start, col_arr.size)
+                ).copy()
+                flipped = nc != m_block[:, col_arr]
+                new_parts.append(nc)
+                local_dirty.append(np.flatnonzero(flipped.any(axis=1)))
+        new_cols = (
+            new_parts[0] if len(new_parts) == 1
+            else np.concatenate(new_parts, axis=0)
+        )
+        dirty = np.concatenate([
+            start + d
+            for (start, __), d in zip(self._chunks, local_dirty)
+        ]) if len(local_dirty) > 1 else local_dirty[0]
+
         dirty_labels: np.ndarray | None = None
         if dirty.size:
-            dirty_masks = self.base_masks[dirty]
-            dirty_masks[:, col_arr] = new_cols[dirty]
-            dirty_labels = component_labels_for_edges(
-                n, self._src, self._dst, dirty_masks,
-                backend=self._backend, n_workers=self._n_workers,
+            # Relabel only the dirty rows, chunk by chunk: the gathered
+            # mask block is bounded by the chunk size, and canonical
+            # per-row labels make the concatenation bit-identical to one
+            # monolithic relabeling of all dirty rows.
+            label_parts = []
+            for (start, __), m_block, nc, d in zip(
+                self._chunks, self._m_blocks, new_parts, local_dirty
+            ):
+                if d.size == 0:
+                    continue
+                dirty_masks = m_block[d]
+                dirty_masks[:, col_arr] = nc[d]
+                label_parts.append(component_labels_for_edges(
+                    n, self._src, self._dst, dirty_masks,
+                    backend=self._backend, n_workers=self._n_workers,
+                ))
+            dirty_labels = (
+                label_parts[0] if len(label_parts) == 1
+                else np.concatenate(label_parts, axis=0)
             )
         return DerivedWorlds(self, col_arr, new_cols, dirty, dirty_labels)
 
@@ -648,7 +1033,7 @@ class DerivedWorlds:
         Intended for audits: a fresh labeling of this matrix must agree
         with every incremental answer bit for bit.
         """
-        masks = self._store.base_masks.copy()
+        masks = np.array(self._store.base_masks, copy=True)
         if self._cols.size:
             masks[:, self._cols] = self._new_cols
         return masks
@@ -661,7 +1046,7 @@ class DerivedWorlds:
             if self._dirty.size == 0:
                 self._labels = base
             else:
-                out = base.copy()
+                out = np.array(base, copy=True)
                 out[self._dirty] = self._dirty_labels
                 self._labels = out
         return self._labels
@@ -710,7 +1095,7 @@ class DerivedWorlds:
                 )
             else:
                 dirty_base = _pair_equal_counts(
-                    self._store.base_labels[self._dirty], pairs
+                    self._store._label_rows(self._dirty), pairs
                 )
             counts = (
                 base_counts
@@ -744,7 +1129,7 @@ class DerivedWorlds:
             )
         acc = self._store.base_pair_acc
         if self._dirty.size:
-            base_rows = self._store.base_labels[self._dirty]
+            base_rows = self._store._label_rows(self._dirty)
             acc = (
                 acc
                 - _pairwise_equal_acc(base_rows, n)

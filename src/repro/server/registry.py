@@ -11,10 +11,11 @@ optimization detail:
   pmf matrix), so a clone of the pristine cache answers checks exactly
   like a freshly built cache -- and per-job clones mean concurrent jobs
   never share the in-place rollback buffer.
-* ``WorldStore.clone()`` deep-copies the generator and copies the
-  uniform buffer, so a clone of the pristine store behaves exactly like
-  a freshly built ``WorldStore(graph, n_samples, seed)`` -- per-job
-  column growth never leaks back into the warm copy.
+* ``WorldStore.clone()`` deep-copies the generator and shares the
+  world-chunk blocks copy-on-write, so a clone of the pristine store
+  behaves exactly like a freshly built
+  ``WorldStore(graph, n_samples, seed)`` -- per-job column growth
+  re-allocates on the clone and never leaks back into the warm copy.
 
 Datasets are keyed by *content*: files by a sha256 of their bytes (an
 edited file is a different dataset), seeded profiles by
@@ -50,6 +51,17 @@ class _DatasetEntry:
         self.lock = threading.Lock()
         self.degree_cache: DegreeUncertaintyCache | None = None
         self.world_stores: dict[tuple, WorldStore] = {}
+
+    def close(self) -> None:
+        """Release store-owned segments (memmap backend).
+
+        Safe with clones still in flight: unlinking a mapped file keeps
+        the mapping readable until the last view dies.
+        """
+        with self.lock:
+            stores, self.world_stores = list(self.world_stores.values()), {}
+            for store in stores:
+                store.close()
 
 
 class DatasetRegistry:
@@ -102,6 +114,7 @@ class DatasetRegistry:
                 __, evicted = self._entries.popitem(last=False)
                 self._by_graph.pop(id(evicted.graph), None)
                 self._evictions += 1
+                evicted.close()
                 logger.info("evicted warm dataset %s", evicted.key)
         logger.info(
             "warmed dataset %s (%d nodes, %d edges)",
@@ -133,33 +146,35 @@ class DatasetRegistry:
             return entry.degree_cache.clone()
 
     def world_store(self, graph, n_samples, seed, backend="auto",
-                    n_workers=None) -> WorldStore:
+                    n_workers=None, memory_budget=None) -> WorldStore:
         """A per-job clone of the pristine world store for these params.
 
         The pristine store is never derived against -- derivation grows
         its column universe and consumes its generator -- so every clone
         starts from the exact state a fresh
-        ``WorldStore(graph, n_samples, seed)`` would have.
+        ``WorldStore(graph, n_samples, seed)`` would have.  Clones share
+        the pristine store's world-chunk blocks copy-on-write, so the
+        per-job world-state cost is O(1) until a job grows the universe.
         """
         entry = self._entry_for(graph)
         if entry is None:
             return WorldStore(
                 graph, n_samples, seed=seed, backend=backend,
-                n_workers=n_workers,
+                n_workers=n_workers, memory_budget=memory_budget,
             )
-        key = (int(n_samples), seed, backend, n_workers)
+        key = (int(n_samples), seed, backend, n_workers, memory_budget)
         with entry.lock:
             store = entry.world_stores.get(key)
             if store is None:
                 store = WorldStore(
                     graph, n_samples, seed=seed, backend=backend,
-                    n_workers=n_workers,
+                    n_workers=n_workers, memory_budget=memory_budget,
                 )
                 # Force the expensive base state now so every clone
                 # shares it (lazy caches computed on a clone would stay
                 # on that clone).  Values are unchanged -- this is the
                 # same computation a cold run performs on first touch.
-                store.base_labels
+                store.warm()
                 if graph.n_nodes <= FULL_MATRIX_LIMIT:
                     store.base_pair_acc
                 entry.world_stores[key] = store
@@ -167,6 +182,15 @@ class DatasetRegistry:
                     "warmed world store %s for %s", key, entry.key
                 )
             return store.clone()
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Release every warm store's segments (service shutdown)."""
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            entry.close()
 
     # -- introspection ---------------------------------------------------- #
 

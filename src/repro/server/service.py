@@ -92,10 +92,10 @@ def _make_runtime(registry: DatasetRegistry, job: Job):
             return registry.degree_cache(graph)
 
         def world_store(self, graph, n_samples, seed, backend="auto",
-                        n_workers=None):
+                        n_workers=None, memory_budget=None):
             return registry.world_store(
                 graph, n_samples, seed, backend=backend,
-                n_workers=n_workers,
+                n_workers=n_workers, memory_budget=memory_budget,
             )
 
     return Runtime()
@@ -273,7 +273,12 @@ class ChameleonService:
             "queue": self._jobs.stats(),
             "cache": self._cache.stats(),
             "datasets": self._registry.stats(),
-            "shm_segments": list(_shm.active_segments()),
+            # Pinned segments belong to live warm world stores (memmap
+            # backend); only segments nobody accounts for are potential
+            # leaks.
+            "shm_segments": list(
+                _shm.active_segments(include_pinned=False)
+            ),
         }}
 
     async def _handle_request(self, request: dict) -> dict:
@@ -362,7 +367,13 @@ class ChameleonService:
                 if job.state in ("queued", "running"):
                     job.state = "cancelled"
                     job.finished_at = time.time()
-            swept = _shm.sweep_segments("service shutdown")
+            self._registry.close()
+            # Pinned segments still alive here belong to other live
+            # stores in this process (e.g. another service instance in
+            # the tests); sweep only what nobody accounts for.
+            swept = _shm.sweep_segments(
+                "service shutdown", include_pinned=False
+            )
             if swept:
                 logger.warning(
                     "shutdown swept %d leaked shm segment(s)", swept

@@ -11,7 +11,6 @@ boundary, and the segment is unlinked even when the pool dies.
 """
 
 from concurrent.futures.process import BrokenProcessPool
-from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
@@ -352,13 +351,13 @@ class TestShmLifecycle:
         )
         assert len(names) == 1
         # Alive while the engine is open ...
-        seg = shared_memory.SharedMemory(name=names[0])
+        seg = _shm.attach_segment(names[0])
         seg.close()
         engine.close()
         # ... unlinked after close (idempotent).
         engine.close()
         with pytest.raises(FileNotFoundError):
-            shared_memory.SharedMemory(name=names[0])
+            _shm.attach_segment(names[0])
 
     def test_segment_unlinked_when_pool_breaks(
         self, small_profile_graph, monkeypatch
@@ -394,7 +393,7 @@ class TestShmLifecycle:
             engine.close()
         assert len(names) == 1
         with pytest.raises(FileNotFoundError):
-            shared_memory.SharedMemory(name=names[0])
+            _shm.attach_segment(names[0])
 
     def test_anonymize_survives_worker_crash_and_unlinks_shm(
         self, small_profile_graph, monkeypatch
@@ -426,7 +425,7 @@ class TestShmLifecycle:
         assert len(names) == 2
         for name in names:
             with pytest.raises(FileNotFoundError):
-                shared_memory.SharedMemory(name=name)
+                _shm.attach_segment(name)
         assert result.success == reference.success
         assert result.sigma == reference.sigma
         assert [

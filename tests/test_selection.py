@@ -86,6 +86,20 @@ class TestCandidateSelection:
         pairs = select_candidate_edges(graph, weights, 1.3, seed=2)
         assert len(pairs) == round(1.3 * graph.n_edges)
 
+    def test_unit_multiplier_returns_originals_immediately(self, graph):
+        """c = 1: the original edge set already meets the target, so the
+        walk must terminate at entry (no drift toward the round cap)."""
+        weights = selection_weights(np.ones(graph.n_nodes))
+        pairs = select_candidate_edges(graph, weights, 1.0, seed=7, max_rounds=1)
+        assert pairs == sorted(graph.endpoint_pairs())
+
+    def test_unit_multiplier_consumes_no_rng(self, graph):
+        weights = selection_weights(np.ones(graph.n_nodes))
+        rng = np.random.default_rng(11)
+        select_candidate_edges(graph, weights, 1.0, seed=rng)
+        untouched = np.random.default_rng(11)
+        assert rng.random() == untouched.random()
+
     def test_sub_unit_multiplier_rejected(self, graph):
         """c < 1 targets are unreachable by the Algorithm-3 walk."""
         weights = selection_weights(np.ones(graph.n_nodes))
