@@ -200,6 +200,23 @@ def test_bench_obfuscation_check():
         + "\n\ndegree-pmf DP (base-matrix build) per kernel backend:\n"
         + kernel_table
         + f"\nbackends bit-identical: {kernel_identical}\n" + kernel_note,
+        data={
+            "graph": {"n_nodes": n_nodes, "n_edges": n_edges},
+            "n_deltas": result["n_deltas"],
+            "delta_edges": result["delta_edges"],
+            "k": OBF_K,
+            "epsilon": OBF_EPSILON,
+            "identical": bool(result["identical"] and kernel_identical),
+            "speedup": result["speedup"],
+            **_harness.table_data(
+                ["checker", "seconds", "ms/check", "speedup"],
+                result["rows"],
+            ),
+            "kernel": _harness.table_data(
+                ["kernel backend", "seconds/build", "speedup"],
+                kernel_rows,
+            ),
+        },
     )
     assert result["identical"], "incremental and full reports diverged"
     assert kernel_identical, "kernel backends diverged on the base matrix"

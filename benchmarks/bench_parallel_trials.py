@@ -161,7 +161,25 @@ def main() -> None:
             "parallel capacity, so no speedup is achievable here.  The "
             ">= 2x @ 4 workers target requires a multi-core host."
         )
-    _harness.emit("bench_parallel_trials", table + "\n\n" + notes)
+    _harness.emit(
+        "bench_parallel_trials",
+        table + "\n\n" + notes,
+        data={
+            "graph": {
+                "n_nodes": result["graph_nodes"],
+                "n_edges": result["graph_edges"],
+            },
+            "n_trials": result["n_trials"],
+            "host_cpus": result["host_cpus"],
+            "identical": bool(result["identical"]),
+            "serial_seconds": result["serial_seconds"],
+            **_harness.table_data(
+                ["backend", "workers", "seconds", "search_s", "sigma",
+                 "calls", "bit-identical"],
+                result["rows"],
+            ),
+        },
+    )
 
 
 if __name__ == "__main__":

@@ -334,6 +334,27 @@ def test_bench_world_store():
           "backend:\n"
         + kernel_table
         + f"\nbackends bit-identical: {kernel_identical}\n" + kernel_note,
+        data={
+            "graph": {"n_nodes": n_nodes, "n_edges": n_edges},
+            "n_samples": result["n_samples"],
+            "n_deltas": result["n_deltas"],
+            "delta_edges": result["delta_edges"],
+            "identical": bool(result["identical"] and kernel_identical),
+            "speedup": result["speedup"],
+            "dirty_fraction": result["dirty_fraction"],
+            **_harness.table_data(
+                ["strategy", "seconds", "ms/candidate", "speedup"],
+                result["rows"],
+            ),
+            "engine": _harness.table_data(
+                ["engine", "seconds/call", "discrepancy", "speedup"],
+                engines["rows"],
+            ),
+            "kernel": _harness.table_data(
+                ["kernel backend", "seconds/stream", "speedup"],
+                kernel_rows,
+            ),
+        },
     )
     assert result["identical"], "store and fresh-oracle queries diverged"
     assert kernel_identical, "kernel backends diverged on derived labels"

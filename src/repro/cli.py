@@ -5,6 +5,8 @@ Subcommands
 ``generate``   materialize a dataset profile as an edge-list file
 ``anonymize``  run a method (rsme / rs / me / rep-an) on a graph file
 ``check``      evaluate the (k, epsilon)-obfuscation criterion
+``update``     apply an edge-probability update batch and re-certify
+               incrementally (patch caches, repair violations locally)
 ``evaluate``   compare an anonymized graph against the original
 ``discrepancy``  reliability discrepancy via one CRN world store
 ``summary``    print Table-I style dataset characteristics
@@ -272,6 +274,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="graph whose degrees the adversary knows")
     _add_backend_arguments(check)
 
+    upd = sub.add_parser(
+        "update",
+        help="apply an edge-probability update batch to a published "
+             "graph and re-certify (k, epsilon) incrementally, with "
+             "targeted local repair of under-obfuscated vertices",
+    )
+    upd.add_argument("published", help="edge-list file or profile name")
+    upd.add_argument("updates",
+                     help="update file: 'u v p_old p_new' lines; p_old "
+                          "must match the published graph exactly")
+    upd.add_argument("output",
+                     help="edge-list file for the re-certified graph")
+    upd.add_argument("--k", type=int, required=True)
+    upd.add_argument("--epsilon", type=float, default=0.05)
+    upd.add_argument("--original", default=None,
+                     help="graph whose degrees the adversary knows "
+                          "(default: the published graph's expectation)")
+    upd.add_argument(
+        "--seed", type=int, default=0,
+        help="deterministic entropy for the repair trials and the "
+             "world store; an integer (never wall-clock), so the "
+             "outcome is a pure function of the inputs (default: 0)",
+    )
+    upd.add_argument("--no-repair", action="store_true",
+                     help="only re-certify; report violations instead "
+                          "of attempting the targeted local repair")
+    upd.add_argument("--trials", type=int, default=5,
+                     help="repair trials per sigma rung (default: 5)")
+    upd.add_argument("--sigma", type=float, default=1.0,
+                     help="first rung of the repair noise ladder")
+    upd.add_argument("--sigma-max", type=float, default=64.0,
+                     help="last rung of the repair noise ladder")
+    upd.add_argument("--multiplier", type=float, default=1.3,
+                     help="candidate-pool multiplier c for the repair "
+                          "selection walk (default: 1.3)")
+    upd.add_argument(
+        "--samples", type=int, default=0,
+        help="Monte-Carlo worlds for utility tracking: rebases a CRN "
+             "world store through the update and reports the "
+             "reliability discrepancy against the pre-update graph "
+             "(0 disables)",
+    )
+    _add_backend_arguments(upd)
+
     ev = sub.add_parser("evaluate", help="utility comparison of two graphs")
     ev.add_argument("original", help="edge-list file or profile name")
     ev.add_argument("anonymized", help="edge-list file")
@@ -502,6 +548,85 @@ def _cmd_check(args, out, err, runtime) -> int:
     return 0 if report.satisfied else 1
 
 
+def _cmd_update(args, out, err, runtime) -> int:
+    from .reliability.worldstore import graph_delta
+    from .stream import IncrementalRecertifier, RepairPolicy, read_update_file
+
+    published = runtime.load(args.published)
+    batch = read_update_file(args.updates)
+    batch.validate_against(published)
+    knowledge = None
+    if args.original:
+        knowledge = expected_degree_knowledge(runtime.load(args.original))
+    # The warm service hands out a clone of its resident degree cache
+    # here, which is what makes a served update skip the O(n * d^2)
+    # pmf construction entirely.
+    cache = runtime.degree_cache(published)
+    pristine = None
+    work = None
+    if args.samples > 0:
+        pristine = runtime.world_store(
+            published, args.samples, args.seed,
+            backend=args.backend, n_workers=args.workers,
+            memory_budget=args.world_memory_budget,
+        )
+        # The recertifier rebases a COW clone; the pristine store keeps
+        # answering for the pre-update graph so the discrepancy below
+        # compares against what was actually published.
+        work = pristine.clone()
+    try:
+        recertifier = IncrementalRecertifier(
+            published, args.k, args.epsilon,
+            knowledge=knowledge, cache=cache, store=work,
+        )
+        policy = None
+        if not args.no_repair:
+            policy = RepairPolicy(
+                n_trials=args.trials,
+                sigma_initial=args.sigma,
+                sigma_max=args.sigma_max,
+                size_multiplier=args.multiplier,
+                entropy=args.seed,
+            )
+        outcome = recertifier.apply(batch, repair=policy)
+        write_edge_list(outcome.graph.dropping_zero_edges(), args.output)
+        report = outcome.report
+        payload = {
+            "k": report.k,
+            "epsilon": report.epsilon,
+            "epsilon_achieved": report.epsilon_achieved,
+            "satisfied": report.satisfied,
+            "n_obfuscated": report.n_obfuscated,
+            "n_nodes": int(report.obfuscated.shape[0]),
+            "n_updates": outcome.n_updates,
+            "n_touched": int(outcome.touched.shape[0]),
+            "repaired": outcome.repaired,
+        }
+        if outcome.repair is not None:
+            payload["repair_sigma"] = outcome.repair.sigma
+            payload["repair_trials"] = outcome.repair.n_trials_run
+        if pristine is not None:
+            view = pristine.derive(graph_delta(published, outcome.graph))
+            payload["samples"] = args.samples
+            # Count dirty worlds from the pristine store's view of the
+            # *total* published -> re-certified delta, not the rebase
+            # stats: a warm store rebases batch and repair separately
+            # (double-counting worlds both flip) and a lazy cold store
+            # defers thresholding entirely, so only the view's count is
+            # identical across every runtime.
+            payload["n_dirty_worlds"] = int(view.n_dirty)
+            payload["update_discrepancy"] = pristine.discrepancy(
+                view, seed=args.seed
+            )
+    finally:
+        if work is not None:
+            work.close()
+        if pristine is not None:
+            pristine.close()
+    print(json.dumps(payload, indent=2), file=out)
+    return 0 if report.satisfied else EXIT_UNSATISFIED
+
+
 def _cmd_evaluate(args, out, err, runtime) -> int:
     original = runtime.load(args.original, seed=args.seed)
     anonymized = read_edge_list(args.anonymized)
@@ -723,6 +848,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "anonymize": _cmd_anonymize,
     "check": _cmd_check,
+    "update": _cmd_update,
     "evaluate": _cmd_evaluate,
     "discrepancy": _cmd_discrepancy,
     "summary": _cmd_summary,

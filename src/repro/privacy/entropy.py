@@ -52,7 +52,15 @@ def column_entropies(matrix: np.ndarray, base: float = 2.0) -> np.ndarray:
         raise ValueError("matrix entries must be non-negative")
     sums = m.sum(axis=0)
     with np.errstate(divide="ignore", invalid="ignore"):
-        plogp = np.where(m > 0, m * np.log(m), 0.0).sum(axis=0)
+        # Degree-pmf matrices are mostly zeros, so take the log only on
+        # the positive entries; scattering the products back yields the
+        # exact array ``np.where(m > 0, m * np.log(m), 0.0)`` builds and
+        # hence the same column sums, at a fraction of the log calls.
+        positive = m > 0
+        mlogm = np.zeros_like(m)
+        vals = m[positive]
+        mlogm[positive] = vals * np.log(vals)
+        plogp = mlogm.sum(axis=0)
         # H = log(S) - sum(m log m)/S, converted to the requested base.
         natural = np.where(sums > 0, np.log(sums) - plogp / np.where(sums > 0, sums, 1.0), np.inf)
     return natural / np.log(base)

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..exceptions import ObfuscationError
 from ..ugraph.graph import UncertainGraph
+from ..ugraph.operations import apply_edge_updates
 from .degree_distribution import expected_degree_knowledge, poisson_binomial_pmf
 from .entropy import column_entropies
 from .obfuscation import ObfuscationReport, report_from_entropy_profile
@@ -70,6 +71,47 @@ def _build_incident_ids(graph: UncertainGraph) -> list[list[int]]:
         incident_ids[u].append(i)
         incident_ids[v].append(i)
     return incident_ids
+
+
+def _padded_pmf_rows(factors: list[np.ndarray]) -> np.ndarray:
+    """Poisson-binomial pmfs of many factor lists in one vectorized DP.
+
+    Rows are padded with ``p = 0.0`` factors; a zero factor convolves
+    with the exact kernel ``[1.0, 0.0]``, and IEEE multiplication by
+    ``1.0``/``0.0`` and addition of ``0.0`` are bitwise-exact, so every
+    row of the result equals ``poisson_binomial_pmf(factors[i])`` in its
+    leading ``len(factors[i]) + 1`` entries and is exactly ``0.0``
+    beyond.  Each DP step performs the same two-term multiply-add as the
+    scalar kernel, just across all rows at once -- this is the hot path
+    of the streaming update engine, where the per-call overhead of one
+    ``np.convolve`` per incident edge per vertex would dominate.
+    """
+    m = len(factors)
+    width = max((f.size for f in factors), default=0)
+    sizes = np.fromiter((f.size for f in factors), dtype=np.int64, count=m)
+    order = np.argsort(sizes, kind="stable")
+    sizes_sorted = sizes[order]
+    padded = np.zeros((m, width), dtype=np.float64)
+    for i, gi in enumerate(order):
+        f = factors[gi]
+        padded[i, : f.size] = f
+    out = np.zeros((m, width + 1), dtype=np.float64)
+    out[:, 0] = 1.0
+    for j in range(width):
+        # Rows whose factor list is exhausted would only convolve with
+        # the exact no-op kernel [1.0, 0.0]; ascending-size order makes
+        # the still-active rows a suffix, so each step touches exactly
+        # the work the per-row scalar DP would.
+        a = slice(int(np.searchsorted(sizes_sorted, j, side="right")), m)
+        pj = padded[a, j : j + 1]
+        qj = 1.0 - pj
+        out[a, j + 1 : j + 2] = out[a, j : j + 1] * pj
+        if j > 0:
+            out[a, 1 : j + 1] = out[a, 1 : j + 1] * qj + out[a, 0:j] * pj
+        out[a, 0:1] = out[a, 0:1] * qj
+    unsorted = np.empty_like(out)
+    unsorted[order] = out
+    return unsorted
 
 
 class DegreeUncertaintyCache:
@@ -203,8 +245,15 @@ class DegreeUncertaintyCache:
         lists`` would produce for the candidate graph.
         """
         base = self._graph.edge_probabilities
+        ids = self._incident_ids[vertex]
+        if not overrides and not new_edges:
+            # Empty-delta fast path (cache construction and post-apply
+            # row refresh): one gather + one filter, same floats in the
+            # same dense order as the generic loop below.
+            incident = base[np.asarray(ids, dtype=np.intp)]
+            return incident[incident > 0.0]
         probs = []
-        for eid in self._incident_ids[vertex]:
+        for eid in ids:
             p = overrides.get(eid)
             if p is None:
                 p = float(base[eid])
@@ -351,3 +400,75 @@ class DegreeUncertaintyCache:
     ) -> ObfuscationReport:
         """The empty-delta check: the base graph itself."""
         return self.check_delta((), k, epsilon, knowledge=knowledge)
+
+    def apply_edge_arrays(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        p_old: np.ndarray,
+        p_new: np.ndarray,
+    ) -> UncertainGraph:
+        """*Permanently* apply a delta: the cache now answers for the
+        patched graph.
+
+        The streaming re-certification pipeline accepts an update batch
+        as its new published truth, so unlike :meth:`check_delta` the
+        touched pmf rows are patched **without rollback** and the cache's
+        base graph is rebound to ``apply_edge_updates(graph, us, vs,
+        p_new)``.  Returns the patched graph.
+
+        Bit-identical guarantee: after the apply, every answer equals a
+        freshly built ``DegreeUncertaintyCache(patched, knowledge)``.
+        A touched vertex's pmf is recomputed over the exact incident
+        float sequence the patched graph stores (original edges in dense
+        order, fresh pairs appended in delta first-occurrence order,
+        zero probabilities filtered on both paths); untouched rows keep
+        their floats; the matrix may only be *wider* (trailing all-zero
+        columns have entropy ``+inf``, the padding value reports use).
+        The knowledge vector is deliberately kept: the adversary's
+        degree observations predate the update.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        p_old = np.asarray(p_old, dtype=np.float64)
+        p_new = np.asarray(p_new, dtype=np.float64)
+        if not (us.shape == vs.shape == p_old.shape == p_new.shape) \
+                or us.ndim != 1:
+            raise ObfuscationError(
+                "delta arrays must be 1-D and parallel, got shapes "
+                f"{us.shape} / {vs.shape} / {p_old.shape} / {p_new.shape}"
+            )
+        delta = zip(us.tolist(), vs.tolist(), p_old.tolist(), p_new.tolist())
+        __, __, touched = self._parse_delta(delta)
+
+        n_before = self._graph.n_edges
+        patched = apply_edge_updates(self._graph, us, vs, p_new)
+        self._graph = patched
+        # ``apply_edge_updates`` keeps existing edges at their dense ids
+        # and appends fresh pairs, so the incident index extends in
+        # place; a rebuild would cost O(|E|) for an O(|delta|) change.
+        for eid in range(n_before, patched.n_edges):
+            self._incident_ids[int(patched.edge_src[eid])].append(eid)
+            self._incident_ids[int(patched.edge_dst[eid])].append(eid)
+
+        # With the graph already rebound, each touched row's incident
+        # sequence is exactly the delta-overlaid one (overrides applied
+        # in dense order, fresh pairs appended), so the empty-delta fast
+        # path recomputes the same pmf floats the generic overlay would.
+        order = sorted(touched)
+        factors = [
+            self._incident_probabilities(w, {}, ()) for w in order
+        ]
+        block = _padded_pmf_rows(factors)
+        needed = block.shape[1]
+        if needed > self._matrix.shape[1]:
+            grown = np.zeros((self._n, needed), dtype=np.float64)
+            grown[:, : self._matrix.shape[1]] = self._matrix
+            self._matrix = grown
+        if order:
+            rows = np.zeros(
+                (len(order), self._matrix.shape[1]), dtype=np.float64
+            )
+            rows[:, :needed] = block
+            self._matrix[np.asarray(order, dtype=np.intp)] = rows
+        return patched

@@ -265,6 +265,14 @@ class WorldStore:
         self._graph = graph
         self._n_samples = int(n_samples)
         self._rng = as_generator(seed)
+        # Entropy keying grown columns' uniforms by *pair* rather than by
+        # arrival order.  Drawn from a deep copy so the real stream is
+        # untouched (base masks stay bitwise ``sample_edge_masks``) and
+        # two same-seeded stores agree on it -- hence on every grown
+        # column -- no matter how their universes grew.
+        self._growth_entropy = int(
+            copy.deepcopy(self._rng).integers(0, 2**63)
+        )
         self._backend = backend
         self._n_workers = n_workers
         self._antithetic = bool(antithetic)
@@ -298,6 +306,10 @@ class WorldStore:
         self._m_blocks: list[np.ndarray] | None = None
         self._l_blocks: list[np.ndarray] | None = None
         self._segments_owned: list[_segments.Segment] = []
+        #: id(block) -> backing segment, for blocks THIS store allocated.
+        #: Lets ``rebase`` release a replaced block's file immediately
+        #: instead of holding it until ``close``.
+        self._block_segments: dict[int, _segments.Segment] = {}
         self._storage_shared = False
         self._pair_counts: np.ndarray | None = None
         self._pair_acc: np.ndarray | None = None
@@ -383,9 +395,9 @@ class WorldStore:
         """An independent store, bitwise-indistinguishable from this one.
 
         ``derive`` mutates the store: column growth appends to the edge
-        universe and draws fresh uniforms from the store's generator *in
-        arrival order*, so two runs that derive different candidates
-        leave the store in different states.  A long-lived service
+        universe (with pair-keyed uniform draws), so two runs that
+        derive different candidates leave the store with different
+        universes.  A long-lived service
         therefore never derives on its warm store directly -- it hands
         each job a clone, so the expensive base state (uniform draws,
         world labels, pair accumulators) is paid once while per-job
@@ -406,6 +418,7 @@ class WorldStore:
         twin._graph = self._graph
         twin._n_samples = self._n_samples
         twin._rng = copy.deepcopy(self._rng)
+        twin._growth_entropy = self._growth_entropy
         twin._backend = self._backend
         twin._n_workers = self._n_workers
         twin._antithetic = self._antithetic
@@ -423,6 +436,7 @@ class WorldStore:
         twin._m_blocks = self._m_blocks
         twin._l_blocks = self._l_blocks
         twin._segments_owned = []
+        twin._block_segments = {}
         twin._storage_shared = self._u_blocks is not None
         twin._pair_counts = self._pair_counts
         twin._pair_acc = self._pair_acc
@@ -439,6 +453,7 @@ class WorldStore:
         backstop when this is never called.
         """
         owned, self._segments_owned = self._segments_owned, []
+        self._block_segments = {}
         for segment in owned:
             _segments.release_segment(segment)
 
@@ -484,9 +499,11 @@ class WorldStore:
         # so leak accounting and in-process sweeps must not count them.
         segment = _segments.create_segment(nbytes, kind="file", pinned=True)
         self._segments_owned.append(segment)
-        return np.frombuffer(
+        block = np.frombuffer(
             segment.buf, dtype=dtype, count=count
         ).reshape(shape)
+        self._block_segments[id(block)] = segment
+        return block
 
     def _draw_uniform_rows(self, rows: int, n_cols: int) -> np.ndarray:
         """Draw ``(rows, n_cols)`` uniforms, mirroring the sampler's stream.
@@ -501,6 +518,25 @@ class WorldStore:
             return self._rng.random((rows, n_cols))
         half = self._rng.random((rows // 2, n_cols))
         out = np.empty((rows, n_cols), dtype=np.float64)
+        out[0::2] = half
+        out[1::2] = 1.0 - half
+        return out
+
+    def _growth_uniform_column(self, u: int, v: int) -> np.ndarray:
+        """The ``(n_samples,)`` uniforms behind grown column ``(u, v)``.
+
+        Keyed by the pair through :attr:`_growth_entropy`, not by the
+        main stream: the same store seed assigns the same uniforms to a
+        pair whether its column appears in one big delta, over several
+        chained ``rebase`` calls, or interleaved with no-ops -- which is
+        what keeps incremental update paths bitwise-comparable to a
+        single-shot derivation.
+        """
+        rng = np.random.default_rng((self._growth_entropy, u, v))
+        if not self._antithetic:
+            return rng.random(self._n_samples)
+        half = rng.random(self._n_samples // 2)
+        out = np.empty(self._n_samples, dtype=np.float64)
         out[0::2] = half
         out[1::2] = 1.0 - half
         return out
@@ -774,10 +810,9 @@ class WorldStore:
         self._dst = np.concatenate([self._dst, dst])
         self._prob = np.concatenate([self._prob, np.zeros(k)])
         if self._has_uniforms:
-            # Force the base draw first so the generator stream stays
-            # "base block, then growth blocks in arrival order" no matter
-            # when the caller first touches the masks.  Blocks grow
-            # geometrically; each growth draw lands in spare capacity.
+            # Blocks grow geometrically; each growth draw lands in spare
+            # capacity.  Grown columns are pair-keyed draws (below), so
+            # when the base draw happens is irrelevant to their values.
             self._ensure_uniforms()
             if self._storage_shared or self._u_capacity < old_cols + k:
                 # Copy-on-write (a clone shares these blocks), or out of
@@ -795,11 +830,11 @@ class WorldStore:
                 self._u_blocks = grown
                 self._u_capacity = capacity
                 self._storage_shared = False
-            # Per-chunk draws in row order == one monolithic (N, k) draw.
+            grown = np.empty((self._n_samples, k), dtype=np.float64)
+            for offset, (u, v) in enumerate(pairs):
+                grown[:, offset] = self._growth_uniform_column(u, v)
             for (start, stop), block in zip(self._chunks, self._u_blocks):
-                block[:, old_cols:old_cols + k] = self._draw_uniform_rows(
-                    stop - start, k
-                )
+                block[:, old_cols:old_cols + k] = grown[start:stop]
             self._u_cols = old_cols + k
         if self._m_blocks is not None:
             padded = []
@@ -812,6 +847,61 @@ class WorldStore:
             self._m_blocks = padded  # rebind: shared lists stay untouched
 
     # -- derivation ------------------------------------------------------ #
+
+    def _merge_delta(
+        self, delta
+    ) -> tuple[list[int], list[float], list[tuple[int, int]], int]:
+        """Shared delta canonicalization of :meth:`derive` / :meth:`rebase`.
+
+        Merges duplicate pairs (last entry wins), grows the column
+        universe for unseen pairs, validates ``p_old`` against the
+        store's base probability and drops no-ops.  Returns
+        ``(cols, new_ps, pairs, n_new_columns)`` where ``pairs`` lists
+        the canonical endpoints of the changed columns.
+        """
+        n = self._graph.n_nodes
+        merged: dict[tuple[int, int], tuple[float, float]] = {}
+        for u, v, p_old, p_new in delta:
+            u, v = int(u), int(v)
+            if u == v or not (0 <= u < n and 0 <= v < n):
+                raise EstimationError(
+                    f"delta pair ({u}, {v}) is not a valid vertex pair"
+                )
+            key = (u, v) if u < v else (v, u)
+            merged[key] = (float(p_old), float(p_new))
+
+        # A no-op on an absent pair (p_new == 0) must not allocate a
+        # column: untracked zero-probability pairs are all-False anyway,
+        # and a spurious column would shift every later fresh column's
+        # uniform draws -- diverging from a store that never saw the
+        # no-op (e.g. the full-recompute oracle fed a graph_delta).
+        missing = [
+            key for key, (__, p_new) in merged.items()
+            if key not in self._col_index and p_new != 0.0
+        ]
+        self._ensure_columns(missing)
+
+        cols: list[int] = []
+        new_ps: list[float] = []
+        pairs: list[tuple[int, int]] = []
+        for key, (p_old, p_new) in merged.items():
+            col = self._col_index.get(key)
+            stored = float(self._prob[col]) if col is not None else 0.0
+            if abs(p_old - stored) > _P_OLD_TOLERANCE:
+                raise EstimationError(
+                    f"delta claims p_old={p_old!r} for pair {key}, but the "
+                    f"store's base probability is {stored!r}"
+                )
+            if not np.isfinite(p_new) or p_new < 0.0 or p_new > 1.0:
+                raise EstimationError(
+                    f"delta pair {key} has p_new={p_new!r}, expected [0, 1]"
+                )
+            if p_new == stored:
+                continue
+            cols.append(col)
+            new_ps.append(p_new)
+            pairs.append(key)
+        return cols, new_ps, pairs, len(missing)
 
     def derive(
         self, delta: list[tuple[int, int, float, float]]
@@ -827,37 +917,7 @@ class WorldStore:
         labels.
         """
         n = self._graph.n_nodes
-        merged: dict[tuple[int, int], tuple[float, float]] = {}
-        for u, v, p_old, p_new in delta:
-            u, v = int(u), int(v)
-            if u == v or not (0 <= u < n and 0 <= v < n):
-                raise EstimationError(
-                    f"delta pair ({u}, {v}) is not a valid vertex pair"
-                )
-            key = (u, v) if u < v else (v, u)
-            merged[key] = (float(p_old), float(p_new))
-
-        missing = [key for key in merged if key not in self._col_index]
-        self._ensure_columns(missing)
-
-        cols: list[int] = []
-        new_ps: list[float] = []
-        for key, (p_old, p_new) in merged.items():
-            col = self._col_index[key]
-            stored = float(self._prob[col])
-            if abs(p_old - stored) > _P_OLD_TOLERANCE:
-                raise EstimationError(
-                    f"delta claims p_old={p_old!r} for pair {key}, but the "
-                    f"store's base probability is {stored!r}"
-                )
-            if not np.isfinite(p_new) or p_new < 0.0 or p_new > 1.0:
-                raise EstimationError(
-                    f"delta pair {key} has p_new={p_new!r}, expected [0, 1]"
-                )
-            if p_new == stored:
-                continue
-            cols.append(col)
-            new_ps.append(p_new)
+        cols, new_ps, __, __ = self._merge_delta(delta)
 
         if not cols:
             return DerivedWorlds(self, np.empty(0, dtype=np.int64),
@@ -927,6 +987,159 @@ class WorldStore:
                 else np.concatenate(label_parts, axis=0)
             )
         return DerivedWorlds(self, col_arr, new_cols, dirty, dirty_labels)
+
+    # -- rebasing (permanent adoption of a delta) ------------------------ #
+
+    def _release_block(self, block: np.ndarray) -> None:
+        """Release the file segment behind a block this store allocated.
+
+        Blocks inherited from a parent store (clone sharing) have no
+        entry and are left alone; RAM blocks have no segment at all.
+        Releasing with live views elsewhere is safe: the unlink reclaims
+        the name and the mapping dies with its last view.
+        """
+        segment = self._block_segments.pop(id(block), None)
+        if segment is None:
+            return
+        try:
+            self._segments_owned.remove(segment)
+        except ValueError:
+            return  # already released (e.g. by close)
+        _segments.release_segment(segment)
+
+    def rebase(
+        self,
+        delta: list[tuple[int, int, float, float]],
+        graph: UncertainGraph | None = None,
+    ) -> dict:
+        """Permanently adopt ``delta`` as the store's new base state.
+
+        Where :meth:`derive` answers "what if" with an overlay view,
+        ``rebase`` mutates the store in place: the uniforms ``U`` are
+        kept verbatim (the rebased store is a *CRN continuation* -- its
+        worlds stay pairwise-coupled with the pre-update state, which is
+        exactly what makes repeated update batches cheap and their
+        discrepancies low-variance; it is deliberately NOT the state a
+        fresh ``WorldStore(patched_graph, N, seed)`` would draw), the
+        changed columns are re-thresholded chunk by chunk, and only the
+        chunks containing flipped worlds replace their mask/label blocks
+        -- untouched chunks keep sharing blocks with any clones, and the
+        replaced blocks' file segments are released immediately, so peak
+        storage stays within one extra chunk of the existing budget.
+
+        The cached pair counts and the pairwise accumulator are patched
+        with the same exact int64 arithmetic the derived views use, so
+        every post-rebase base query is bit-identical to
+        ``derive(delta)`` evaluated before the rebase -- and hence to a
+        full recompute over the patched masks.
+
+        ``graph`` optionally supplies the already-materialized patched
+        graph (the degree-cache pipeline has it anyway); otherwise it is
+        built here with :func:`~repro.ugraph.operations.apply_edge_updates`.
+
+        Returns ``{"n_dirty_worlds", "n_changed_columns",
+        "n_new_columns"}``; ``n_dirty_worlds`` is None when the store's
+        masks were never materialized (nothing to patch -- the lazy
+        thresholding against the updated probabilities is already the
+        rebased state).
+        """
+        if not self._has_uniforms:
+            raise EstimationError(
+                "store was built from masks; rebase needs the uniforms"
+            )
+        n = self._graph.n_nodes
+        if graph is not None and graph.n_nodes != n:
+            raise EstimationError(
+                f"rebase graph has {graph.n_nodes} vertices, store has {n}"
+            )
+        cols, new_ps, changed_pairs, n_new = self._merge_delta(delta)
+        stats = {
+            "n_dirty_worlds": 0,
+            "n_changed_columns": len(cols),
+            "n_new_columns": n_new,
+        }
+        if not cols:
+            if graph is not None:
+                self._graph = graph
+            return stats
+        col_arr = np.asarray(cols, dtype=np.int64)
+        p_arr = np.asarray(new_ps, dtype=np.float64)
+
+        if graph is None:
+            from ..ugraph.operations import apply_edge_updates
+
+            us = np.fromiter((u for u, __ in changed_pairs), dtype=np.int64,
+                             count=len(changed_pairs))
+            vs = np.fromiter((v for __, v in changed_pairs), dtype=np.int64,
+                             count=len(changed_pairs))
+            graph = apply_edge_updates(self._graph, us, vs, p_arr)
+
+        # Clones share ``_prob`` by reference: rebind a patched copy so
+        # their p_old validation keeps seeing the pre-update state.
+        prob = self._prob.copy()
+        prob[col_arr] = p_arr
+        self._prob = prob
+        self._graph = graph
+
+        if self._m_blocks is None:
+            # Masks were never materialized: the future ``U < p`` pass
+            # over the updated probabilities IS the rebased state.
+            stats["n_dirty_worlds"] = None
+            return stats
+
+        patch_labels = self._l_blocks is not None
+        patch_counts = patch_labels and self._pair_counts is not None
+        patch_acc = patch_labels and self._pair_acc is not None
+        counts = self._pair_counts.copy() if patch_counts else None
+        acc = self._pair_acc.copy() if patch_acc else None
+        m_new = list(self._m_blocks)
+        l_new = list(self._l_blocks) if patch_labels else None
+        replaced: list[np.ndarray] = []
+        total_dirty = 0
+        for ci, ((start, stop), u_block, m_block) in enumerate(
+            zip(self._chunks, self._u_blocks, self._m_blocks)
+        ):
+            nc, d = kernels.rethreshold_masks(
+                u_block[:, :self._u_cols], m_block, col_arr, p_arr
+            )
+            if d.size == 0:
+                continue  # no world flipped here: block values unchanged
+            total_dirty += int(d.size)
+            fresh_m = self._alloc_block(m_block.shape, np.bool_)
+            fresh_m[:] = m_block
+            fresh_m[:, col_arr] = nc
+            m_new[ci] = fresh_m
+            replaced.append(m_block)
+            if patch_labels:
+                old_l = self._l_blocks[ci]
+                dirty_masks = m_block[d]
+                dirty_masks[:, col_arr] = nc[d]
+                labels = component_labels_for_edges(
+                    n, self._src, self._dst, dirty_masks,
+                    backend=self._backend, n_workers=self._n_workers,
+                )
+                fresh_l = self._alloc_block(old_l.shape, old_l.dtype)
+                fresh_l[:] = old_l
+                fresh_l[d] = labels
+                l_new[ci] = fresh_l
+                replaced.append(old_l)
+                if patch_counts:
+                    counts[start + d] = pair_counts_from_labels(labels)
+                if patch_acc:
+                    # Same exact int64 swap DerivedWorlds performs.
+                    acc -= _pairwise_equal_acc(old_l[d], n)
+                    acc += _pairwise_equal_acc(labels, n)
+        self._m_blocks = m_new
+        if patch_labels:
+            self._l_blocks = l_new
+        self._pair_counts = counts if patch_counts else None
+        self._pair_acc = acc if patch_acc else None
+        self._pairwise = None
+        self._pair_equal_cache = None
+        for block in replaced:
+            self._release_block(block)
+        stats["n_dirty_worlds"] = total_dirty
+        return stats
 
     # -- discrepancy ----------------------------------------------------- #
 

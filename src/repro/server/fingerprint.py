@@ -36,6 +36,11 @@ _INPUT_FIELDS: dict[str, tuple[tuple[str, bool], ...]] = {
     "generate": (("profile", True),),
     "anonymize": (("input", True),),
     "check": (("published", False), ("original", False)),
+    "update": (
+        ("published", False),
+        ("updates", False),
+        ("original", False),
+    ),
     "evaluate": (("original", True), ("anonymized", False)),
     "discrepancy": (("original", True), ("anonymized", False)),
     "summary": (("input", True),),
@@ -52,6 +57,7 @@ CACHEABLE_COMMANDS = frozenset(_INPUT_FIELDS)
 OUTPUT_FIELDS: dict[str, tuple[str, ...]] = {
     "generate": ("output",),
     "anonymize": ("output",),
+    "update": ("output",),
     "report": ("output",),
 }
 

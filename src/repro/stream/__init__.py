@@ -1,0 +1,24 @@
+"""Incremental re-certification of evolving uncertain graphs.
+
+Ingest batches of edge-probability updates against a published
+anonymization and re-certify ``(k, epsilon)``-obfuscation by patching
+the warm caches -- degree pmf rows, sampled-world columns -- instead of
+re-running the full pipeline.  See :mod:`repro.stream.recertify` for the
+pipeline, :mod:`repro.stream.updates` for the batch format and
+:mod:`repro.stream.repair` for the targeted violation repair.
+"""
+
+from .recertify import IncrementalRecertifier, UpdateOutcome
+from .repair import RepairOutcome, RepairPolicy, repair_violations
+from .updates import UpdateBatch, read_update_file, write_update_file
+
+__all__ = [
+    "IncrementalRecertifier",
+    "UpdateOutcome",
+    "RepairOutcome",
+    "RepairPolicy",
+    "repair_violations",
+    "UpdateBatch",
+    "read_update_file",
+    "write_update_file",
+]

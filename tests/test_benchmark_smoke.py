@@ -20,6 +20,7 @@ if BENCHMARKS_DIR not in sys.path:
     sys.path.insert(0, BENCHMARKS_DIR)
 
 import bench_connectivity_backends as bench  # noqa: E402
+import bench_incremental_update as bench_upd  # noqa: E402
 import bench_obfuscation_check as bench_obf  # noqa: E402
 import bench_parallel_trials as bench_pt  # noqa: E402
 import bench_world_store as bench_ws  # noqa: E402
@@ -48,6 +49,21 @@ def test_obfuscation_check_comparison_smoke():
     checkers = [row[0] for row in result["rows"]]
     assert checkers == ["full", "incremental"]
     assert all(row[1] >= 0.0 for row in result["rows"])
+
+
+@pytest.mark.benchmark_smoke
+def test_incremental_update_comparison_smoke():
+    """The streaming update pipeline at tiny scale: chained batches,
+    certificate and store equivalence audits -- speedup not asserted
+    (timing is meaningless here)."""
+    result = bench_upd.run_update_comparison(
+        scale=0.15, n_batches=2, fractions=(0.01, 0.05),
+        n_samples=16,
+    )
+    assert result["identical"], "incremental certificate diverged"
+    assert result["store_identical"], "rebased store diverged"
+    assert len(result["rows"]) == 2
+    assert all(row[2] >= 0.0 and row[3] >= 0.0 for row in result["rows"])
 
 
 @pytest.mark.benchmark_smoke

@@ -143,6 +143,49 @@ class TestChunkedBitIdentity:
                            store_backend="ram")
         assert small.n_chunks == 6
 
+    def test_fd_capped_memmap_store_is_exact_and_leak_free(
+            self, small_profile_graph, monkeypatch, tmp_path):
+        """A memmap store driven into the ``_MAX_CHUNKS`` cap by a tiny
+        ``REPRO_WORLD_CHUNK`` stays bit-identical to the monolithic
+        reference and releases every fd and segment file on close."""
+        import gc
+        import os
+
+        from repro.reliability.worldstore import _MAX_CHUNKS
+
+        graph = small_profile_graph
+        n_samples = 2 * _MAX_CHUNKS + 2  # chunk=1 would need 130 chunks
+        monkeypatch.setenv("REPRO_WORLD_BACKEND", "memmap")
+        monkeypatch.setenv("REPRO_WORLD_CHUNK", "1")
+        monkeypatch.setenv("REPRO_SEGMENT_DIR", str(tmp_path))
+
+        fds_before = len(os.listdir("/proc/self/fd"))
+        store = WorldStore(graph, n_samples=n_samples, seed=11)
+        mono = monolithic(graph, n_samples=n_samples, seed=11)
+        delta = [(int(graph.edge_src[0]), int(graph.edge_dst[0]),
+                  float(graph.edge_probabilities[0]), 0.0)]
+        pairs = sample_vertex_pairs(graph.n_nodes, 30, seed=4)
+        try:
+            # The cap kicked in: the requested 1-world chunks were
+            # coalesced until at most _MAX_CHUNKS remain.
+            assert store.n_chunks <= _MAX_CHUNKS
+            assert store.n_chunks < n_samples
+            assert store.store_backend == "memmap"
+            assert_store_equal(mono, store, delta, pairs)
+            assert store.segment_names(), "memmap store owns no segments"
+        finally:
+            store.close()
+        # Zero segment leaks: close() disowns and unlinks every backing
+        # file immediately (live mappings stay readable until the last
+        # numpy view dies, so the blocks above remain valid).
+        assert store.segment_names() == ()
+        assert list(tmp_path.iterdir()) == []
+        # Zero fd leaks: each chunk block pins one mmap fd only as long
+        # as the store (and hence its views) is alive.
+        del store
+        gc.collect()
+        assert len(os.listdir("/proc/self/fd")) <= fds_before
+
     def test_antithetic_chunks_match_monolithic(self, small_profile_graph):
         graph = small_profile_graph
         mono = WorldStore(graph, n_samples=N_SAMPLES, seed=13,

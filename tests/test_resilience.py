@@ -9,6 +9,7 @@ asserts exactly that, plus the hygiene property that no shared-memory
 segment outlives its run.
 """
 
+import dataclasses
 import json
 import os
 
@@ -475,6 +476,103 @@ class TestCheckpointResume:
         changed = ChameleonConfig(**{**FAST, "n_trials": 3})
         assert run_fingerprint(
             small_profile_graph, changed, context, 1) != base
+
+
+class TestFingerprintFieldDrift:
+    """Every ``ChameleonConfig`` field must be deliberately classified.
+
+    ``_FINGERPRINT_CONFIG_FIELDS`` is the checkpoint-journal's notion of
+    "same run": algorithmic fields invalidate a journal when they change,
+    execution/observability knobs must not (a checkpoint written by a
+    process-backend run resumes on any backend).  Adding a config field
+    without deciding which side it lands on silently produces either
+    stale resumes (algorithmic field missing) or needless invalidation
+    (execution knob included) -- so this test fails until the new field
+    is added to exactly one of the two lists.
+    """
+
+    #: Knobs that change *how* a run executes or what it reports, never
+    #: the sigma probes the journal checkpoints.  ``seed`` is excluded
+    #: because the digest covers the resolved trial entropy directly;
+    #: ``utility_samples`` is observational: its world-store seed is
+    #: drawn from the pipeline RNG *after* the selection context and the
+    #: trial entropy, so toggling it cannot perturb any probe.
+    EXECUTION_ONLY = frozenset({
+        "trial_backend", "n_workers", "connectivity_backend",
+        "utility_samples", "world_memory_budget", "trial_timeout",
+        "max_retries", "retry_backoff", "fault_plan",
+        "checkpoint_path", "resume", "seed",
+    })
+
+    #: One valid non-default value per field, to probe the digest with.
+    ALTERNATES = {
+        "k": 6, "epsilon": 0.25, "size_multiplier": 1.5,
+        "white_noise": 0.2, "n_trials": 3, "relevance_samples": 60,
+        "relevance_method": "grouped", "obfuscation_checker": "full",
+        "selection_mode": "uniqueness-only", "perturbation_mode": "naive",
+        "sigma_initial": 2.0, "sigma_max": 32.0, "sigma_tolerance": 0.05,
+        "uniqueness_bandwidth": 0.7, "name": "variant",
+        "trial_backend": "thread", "n_workers": 3,
+        "connectivity_backend": "python", "utility_samples": 8,
+        "world_memory_budget": 1 << 20, "trial_timeout": 5.0,
+        "max_retries": 7, "retry_backoff": 0.3,
+        "fault_plan": "delay@0.5:0.01", "checkpoint_path": "probes.jsonl",
+        "resume": True, "seed": 123,
+    }
+
+    def test_every_config_field_is_classified(self):
+        from repro.core.resilience import _FINGERPRINT_CONFIG_FIELDS
+
+        all_fields = {f.name for f in dataclasses.fields(ChameleonConfig)}
+        fingerprinted = set(_FINGERPRINT_CONFIG_FIELDS)
+        assert fingerprinted & self.EXECUTION_ONLY == set(), (
+            "field listed both as fingerprinted and as execution-only"
+        )
+        assert fingerprinted | self.EXECUTION_ONLY == all_fields, (
+            "unclassified ChameleonConfig field(s): "
+            f"{sorted(all_fields - fingerprinted - self.EXECUTION_ONLY)}; "
+            "stale fingerprint entries: "
+            f"{sorted((fingerprinted | self.EXECUTION_ONLY) - all_fields)}"
+        )
+
+    def test_digest_tracks_exactly_the_algorithmic_fields(
+            self, small_profile_graph):
+        """Flip every field one at a time: algorithmic flips must change
+        the fingerprint, execution-knob flips must not."""
+        from repro.core.resilience import _FINGERPRINT_CONFIG_FIELDS
+
+        config = ChameleonConfig(**FAST)
+        context = _context(small_profile_graph, config)
+        base = run_fingerprint(small_profile_graph, config, context, 1)
+        all_fields = [f.name for f in dataclasses.fields(ChameleonConfig)]
+        assert set(self.ALTERNATES) == set(all_fields)
+        for field in all_fields:
+            alternate = self.ALTERNATES[field]
+            assert alternate != getattr(config, field), field
+            overrides = {field: alternate}
+            if field == "resume":  # resume=True requires a journal path
+                overrides["checkpoint_path"] = "probes.jsonl"
+            flipped = dataclasses.replace(config, **overrides)
+            digest = run_fingerprint(
+                small_profile_graph, flipped, context, 1
+            )
+            if field in _FINGERPRINT_CONFIG_FIELDS:
+                assert digest != base, (
+                    f"algorithmic field {field!r} did not invalidate "
+                    f"the checkpoint fingerprint"
+                )
+            elif field == "resume":
+                cp_only = dataclasses.replace(
+                    config, checkpoint_path="probes.jsonl"
+                )
+                assert digest == run_fingerprint(
+                    small_profile_graph, cp_only, context, 1
+                ), "execution knob 'resume' leaked into the fingerprint"
+            else:
+                assert digest == base, (
+                    f"execution knob {field!r} leaked into the "
+                    f"checkpoint fingerprint"
+                )
 
     def test_journal_survives_injected_crashes(
         self, small_profile_graph, tmp_path

@@ -1,0 +1,253 @@
+"""``WorldStore.rebase``: permanent in-place adoption of a delta.
+
+The contract under test: rebasing is a CRN *continuation* -- the
+uniforms are kept, only changed columns re-threshold -- and every base
+query after ``rebase(delta)`` is bit-identical to ``derive(delta)``
+evaluated on a pristine store, which in turn is the full-recompute
+oracle over the patched masks.  Plus the storage story: clones stay
+isolated (COW), replaced blocks' file segments are released eagerly,
+and nothing leaks after ``close``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EstimationError
+from repro.reliability.worldstore import WorldStore
+from repro.ugraph import UncertainGraph
+
+
+def make_graph(seed: int, n: int = 28, n_edges: int = 70) -> UncertainGraph:
+    rng = np.random.default_rng(seed)
+    pairs: set[tuple[int, int]] = set()
+    while len(pairs) < n_edges:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u != v:
+            pairs.add((min(u, v), max(u, v)))
+    ordered = sorted(pairs)
+    ps = rng.uniform(0.05, 0.95, len(ordered))
+    return UncertainGraph(
+        n, [(u, v, float(p)) for (u, v), p in zip(ordered, ps)]
+    )
+
+
+def make_delta(graph: UncertainGraph, rng: np.random.Generator,
+               size: int, fresh_pair: bool = True) -> list:
+    pairs = list(graph.endpoint_pairs())
+    picks = rng.choice(len(pairs), size=min(size, len(pairs)), replace=False)
+    delta = []
+    for i in picks:
+        u, v = pairs[int(i)]
+        old = graph.probability(u, v)
+        delta.append(
+            (u, v, old, float(np.clip(old + rng.normal(0, 0.4), 0, 1)))
+        )
+    if fresh_pair:
+        existing = set(pairs)
+        while True:
+            u, v = (int(x) for x in rng.integers(0, graph.n_nodes, 2))
+            if u != v and (min(u, v), max(u, v)) not in existing:
+                delta.append((min(u, v), max(u, v), 0.0, 0.6))
+                break
+    return delta
+
+
+def query_pairs(graph: UncertainGraph, count: int = 12) -> list:
+    return list(graph.endpoint_pairs())[:count]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    backend=st.sampled_from(["ram", "memmap"]),
+    chunk=st.sampled_from([3, 9]),
+    antithetic=st.booleans(),
+)
+def test_rebase_matches_derive_and_recompute(seed, backend, chunk,
+                                             antithetic):
+    """rebased base state == pre-rebase derive view == full recompute
+    over the patched masks, for reliabilities, labels and masks."""
+    monkeypatch = pytest.MonkeyPatch()
+    try:
+        monkeypatch.setenv("REPRO_WORLD_BACKEND", backend)
+        monkeypatch.setenv("REPRO_WORLD_CHUNK", str(chunk))
+        rng = np.random.default_rng(seed)
+        graph = make_graph(seed)
+        store = WorldStore(graph, n_samples=20, seed=3,
+                           antithetic=antithetic)
+        store.warm()
+        pristine = store.clone()
+        delta = make_delta(graph, rng, 5)
+        qpairs = query_pairs(graph)
+
+        view = pristine.derive(delta)
+        view_rel = view.reliability_of_pairs(qpairs)
+        view_labels = view.materialize()
+
+        stats = store.rebase(delta)
+        assert stats["n_changed_columns"] >= 5
+
+        # Base answers == the derived view's answers.
+        assert np.array_equal(
+            store.base_reliability_of_pairs(qpairs), view_rel
+        )
+        # Full recompute oracle: a no-op derivation re-labels nothing,
+        # so its materialized labels ARE the store's base labels.
+        base_labels = store.derive([]).materialize()
+        assert np.array_equal(base_labels, view_labels)
+
+        # The pristine clone still answers for the pre-update state.
+        assert np.array_equal(
+            pristine.base_reliability_of_pairs(qpairs),
+            pristine.derive([]).reliability_of_pairs(qpairs),
+        )
+        pristine.close()
+        store.close()
+    finally:
+        monkeypatch.undo()
+
+
+def test_chained_rebases_compose():
+    """Two sequential rebases == one derive of the composed delta."""
+    graph = make_graph(1)
+    rng = np.random.default_rng(4)
+    store = WorldStore(graph, n_samples=30, seed=9)
+    store.warm()
+    pristine = store.clone()
+    qpairs = query_pairs(graph)
+
+    first = make_delta(graph, rng, 4, fresh_pair=False)
+    store.rebase(first)
+    # Second delta is built against the *rebased* probabilities.
+    merged = {(u, v): (old, new) for u, v, old, new in first}
+    second = []
+    for (u, v), (old, new) in list(merged.items())[:2]:
+        bumped = float(np.clip(new + 0.17, 0, 1))
+        second.append((u, v, new, bumped))
+        merged[(u, v)] = (old, bumped)
+    store.rebase(second)
+
+    composed = [
+        (u, v, old, new) for (u, v), (old, new) in merged.items()
+        if old != new
+    ]
+    view = pristine.derive(composed)
+    assert np.array_equal(
+        store.base_reliability_of_pairs(qpairs),
+        view.reliability_of_pairs(qpairs),
+    )
+    pristine.close()
+    store.close()
+
+
+def test_rebase_lazy_store_defers_thresholding():
+    """Rebasing before masks exist just swaps probabilities: the lazily
+    materialized state equals a pristine store's view of the delta."""
+    graph = make_graph(2)
+    rng = np.random.default_rng(5)
+    delta = make_delta(graph, rng, 4)
+    qpairs = query_pairs(graph)
+
+    lazy = WorldStore(graph, n_samples=25, seed=6)
+    stats = lazy.rebase(delta)
+    assert stats["n_dirty_worlds"] is None
+
+    oracle = WorldStore(graph, n_samples=25, seed=6)
+    oracle.warm()
+    view = oracle.derive(delta)
+    assert np.array_equal(
+        lazy.base_reliability_of_pairs(qpairs),
+        view.reliability_of_pairs(qpairs),
+    )
+    lazy.close()
+    oracle.close()
+
+
+def test_rebase_validates_inputs():
+    graph = make_graph(3)
+    store = WorldStore(graph, n_samples=10, seed=1)
+    u, v = next(iter(graph.endpoint_pairs()))
+    good = graph.probability(u, v)
+    with pytest.raises(EstimationError, match="p_old"):
+        store.rebase([(u, v, good + 0.25, 0.5)])
+    with pytest.raises(EstimationError, match="vertices"):
+        store.rebase([(u, v, good, 0.5)], graph=make_graph(3, n=29))
+    store.close()
+
+    from_masks = WorldStore.from_masks(
+        graph, np.zeros((4, graph.n_edges), dtype=bool)
+    )
+    with pytest.raises(EstimationError, match="uniforms"):
+        from_masks.rebase([(u, v, good, 0.5)])
+    from_masks.close()
+
+
+def test_rebase_noop_delta_is_free():
+    graph = make_graph(7)
+    store = WorldStore(graph, n_samples=12, seed=2)
+    store.warm()
+    u, v = next(iter(graph.endpoint_pairs()))
+    p = graph.probability(u, v)
+    stats = store.rebase([(u, v, p, p)])
+    assert stats == {
+        "n_dirty_worlds": 0, "n_changed_columns": 0, "n_new_columns": 0,
+    }
+    store.close()
+
+
+def test_rebase_releases_replaced_segments(tmp_path, monkeypatch):
+    """Memmap rebase frees the replaced blocks' files immediately and
+    close() leaves nothing on disk."""
+    monkeypatch.setenv("REPRO_WORLD_BACKEND", "memmap")
+    monkeypatch.setenv("REPRO_WORLD_CHUNK", "5")
+    monkeypatch.setenv("REPRO_SEGMENT_DIR", str(tmp_path))
+    graph = make_graph(8)
+    rng = np.random.default_rng(9)
+    store = WorldStore(graph, n_samples=20, seed=4)
+    store.warm()
+    files_before = {p.name for p in tmp_path.iterdir()}
+
+    delta = make_delta(graph, rng, 6, fresh_pair=False)
+    stats = store.rebase(delta)
+    assert stats["n_dirty_worlds"] > 0
+
+    # Every replaced block's segment was released as its fresh twin was
+    # allocated: the on-disk population is exactly the owned set and
+    # did not grow -- rebase swaps blocks, it does not accumulate them.
+    files_after = {p.name for p in tmp_path.iterdir()}
+    assert files_after == set(store.segment_names())
+    assert len(files_after) == len(files_before)
+
+    store.close()
+    assert not list(tmp_path.iterdir())
+
+
+def test_rebase_clone_cow_isolation():
+    """A rebase on one store never disturbs its clone, and both remain
+    independently rebasable."""
+    graph = make_graph(10)
+    rng = np.random.default_rng(12)
+    store = WorldStore(graph, n_samples=16, seed=5)
+    store.warm()
+    twin = store.clone()
+    qpairs = query_pairs(graph)
+    before = store.base_reliability_of_pairs(qpairs)
+
+    delta = make_delta(graph, rng, 4)
+    expected = store.derive(delta).reliability_of_pairs(qpairs)
+    store.rebase(delta)
+    assert np.array_equal(
+        store.base_reliability_of_pairs(qpairs), expected
+    )
+    # Twin: untouched, still answers for the original graph, and can
+    # itself derive the same delta to the same answers.
+    assert np.array_equal(twin.base_reliability_of_pairs(qpairs), before)
+    assert np.array_equal(
+        twin.derive(delta).reliability_of_pairs(qpairs), expected
+    )
+    twin.close()
+    store.close()
